@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-fast examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-fast:
+	dune exec bench/main.exe -- --fast
+
+bench-csv:
+	dune exec bench/main.exe -- --csv results/
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/sensor_fusion.exe
+	dune exec examples/event_ordering.exe
+	dune exec examples/membership_rename.exe
+	dune exec examples/kv_replica.exe
+	dune exec examples/clock_sync.exe
+
+clean:
+	dune clean

@@ -1,0 +1,463 @@
+(* ubpa — drive the paper's algorithms from the command line.
+
+   Examples:
+     ubpa consensus -n 10 -f 3 --adversary split-world
+     ubpa rb -n 7 -f 2 --adversary equivocate
+     ubpa rotor -n 13 -f 4 --adversary staggered
+     ubpa aa -n 10 -f 3 --iterations 6
+     ubpa parallel -n 7 -f 2 --instances 4
+     ubpa rename -n 9 -f 2
+     ubpa trb -n 7 -f 2 --byzantine-sender
+     ubpa order --genesis 4 --rounds 8
+     ubpa impossibility --mode semisync --delta 64 *)
+
+open Cmdliner
+open Ubpa_scenarios
+open Ubpa_sim
+
+let seed_t =
+  let doc = "Seed for the deterministic simulation." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let n_t =
+  let doc = "Total number of nodes (correct + byzantine)." in
+  Arg.(value & opt int 7 & info [ "n" ] ~docv:"N" ~doc)
+
+let f_t =
+  let doc = "Number of byzantine nodes (must satisfy n > 3f)." in
+  Arg.(value & opt int 2 & info [ "f" ] ~docv:"F" ~doc)
+
+let adversary_t choices =
+  let doc =
+    Printf.sprintf "Byzantine strategy: %s."
+      (String.concat ", " (List.map fst choices))
+  in
+  Arg.(
+    value
+    & opt (enum choices) (snd (List.hd choices))
+    & info [ "adversary" ] ~docv:"STRATEGY" ~doc)
+
+let check_nf n f =
+  if f < 0 || n <= 3 * f then
+    Fmt.epr
+      "warning: n = %d, f = %d violates n > 3f; the guarantees of the paper \
+       do not apply.@."
+      n f
+
+let i64 seed = Int64.of_int seed
+
+(* ----- consensus ----- *)
+
+let consensus_cmd =
+  let run n f seed adversary =
+    check_nf n f;
+    let module C = Scenarios.Consensus_int in
+    let byz = List.init f (fun i -> adversary i) in
+    let s =
+      C.run ~seed:(i64 seed) ~byz ~n_correct:(n - f)
+        ~inputs:(fun i -> i mod 2)
+        ()
+    in
+    Fmt.pr "n=%d f=%d rounds=%d msgs=%d@." s.C.n s.C.f s.C.rounds
+      s.C.delivered_msgs;
+    List.iter
+      (fun (id, v) -> Fmt.pr "  %a -> %d@." Ubpa_util.Node_id.pp id v)
+      s.C.outputs;
+    Fmt.pr "agreement=%b unanimity-validity=%b@." s.C.agreed s.C.valid;
+    if not s.C.agreed then exit 1
+  in
+  let adversaries =
+    [
+      ("split-world", fun _ -> Scenarios.Consensus_int.Attacks.split_world 0 1);
+      ("stubborn", fun _ -> Scenarios.Consensus_int.Attacks.stubborn 9);
+      ("silent", fun _ -> Scenarios.Consensus_int.Attacks.silent_member);
+      ("mirror", fun _ -> Ubpa_adversary.Generic.mirror);
+      ("spam", fun _ -> Ubpa_adversary.Generic.spam);
+      ("random", fun _ -> Ubpa_adversary.Generic.random_mix);
+    ]
+  in
+  Cmd.v
+    (Cmd.info "consensus" ~doc:"Early-terminating consensus (Algorithm 3)")
+    Term.(const run $ n_t $ f_t $ seed_t $ adversary_t adversaries)
+
+
+(* ----- binary consensus ----- *)
+
+let binary_cmd =
+  let run n f seed adversary =
+    check_nf n f;
+    let module B = Scenarios.Binary in
+    let byz = List.init f (fun i -> adversary i) in
+    let s =
+      B.run ~seed:(i64 seed) ~byz ~n_correct:(n - f)
+        ~inputs:(fun i -> i mod 2 = 0)
+        ()
+    in
+    Fmt.pr "n=%d f=%d rounds=%d msgs=%d@." s.B.n s.B.f s.B.rounds
+      s.B.delivered_msgs;
+    List.iter
+      (fun (id, v) -> Fmt.pr "  %a -> %b@." Ubpa_util.Node_id.pp id v)
+      s.B.outputs;
+    Fmt.pr "agreement=%b strong-validity=%b@." s.B.agreed s.B.valid;
+    if not s.B.agreed then exit 1
+  in
+  let adversaries =
+    [
+      ("split-world", fun _ -> Ubpa_adversary.Bc_attacks.split_world);
+      ("stubborn", fun _ -> Ubpa_adversary.Bc_attacks.stubborn true);
+      ("silent", fun _ -> Ubpa_adversary.Bc_attacks.silent_member);
+    ]
+  in
+  Cmd.v
+    (Cmd.info "binary"
+       ~doc:"Rotor-driven binary consensus (the paper's original algorithm)")
+    Term.(const run $ n_t $ f_t $ seed_t $ adversary_t adversaries)
+
+(* ----- reliable broadcast ----- *)
+
+let rb_cmd =
+  let run n f seed adversary =
+    check_nf n f;
+    let module R = Scenarios.Rb in
+    let byz_sender = adversary == `Equivocate || adversary == `Partial in
+    let byz =
+      match adversary with
+      | `Silent -> List.init f (fun _ -> Strategy.silent)
+      | `Equivocate ->
+          R.Attacks.equivocating_sender "m1" "m2"
+          :: List.init (max 0 (f - 1)) (fun _ -> Strategy.silent)
+      | `Partial ->
+          R.Attacks.partial_sender "m" ~fraction:0.4
+          :: List.init (max 0 (f - 1)) (fun _ -> Strategy.silent)
+      | `None -> []
+    in
+    let s =
+      R.run ~seed:(i64 seed) ~byz ~byz_sender
+        ~n_correct:(n - List.length byz) ~payload:"m" ()
+    in
+    Fmt.pr "n=%d f=%d rounds=%d msgs=%d@." s.R.n s.R.f s.R.rounds
+      s.R.delivered_msgs;
+    List.iter
+      (fun (id, entries) ->
+        Fmt.pr "  %a accepted %d payload(s)@." Ubpa_util.Node_id.pp id
+          (List.length entries))
+      s.R.accepted;
+    Fmt.pr "designated payload accepted everywhere=%b (rounds %d..%d)@."
+      s.R.all_accepted_sender_payload s.R.min_accept_round s.R.max_accept_round
+  in
+  let adversaries =
+    [
+      ("none", `None);
+      ("silent", `Silent);
+      ("equivocate", `Equivocate);
+      ("partial", `Partial);
+    ]
+  in
+  Cmd.v
+    (Cmd.info "rb" ~doc:"Reliable broadcast (Algorithm 1)")
+    Term.(const run $ n_t $ f_t $ seed_t $ adversary_t adversaries)
+
+(* ----- rotor ----- *)
+
+let rotor_cmd =
+  let run n f seed adversary =
+    check_nf n f;
+    let module R = Scenarios.Rotor_int in
+    let byz =
+      match adversary with
+      | `Silent -> List.init f (fun _ -> Strategy.silent)
+      | `Staggered ->
+          List.init f (fun i ->
+              R.Attacks.staggered_announcer
+                ~fraction:(0.34 +. (0.07 *. float_of_int (i mod 5))))
+      | `None -> []
+    in
+    let s = R.run ~seed:(i64 seed) ~byz ~n_correct:(n - List.length byz) () in
+    Fmt.pr "n=%d f=%d rounds=%d msgs=%d terminated=%b@." s.R.n s.R.f s.R.rounds
+      s.R.delivered_msgs s.R.all_terminated;
+    (match s.R.outputs with
+    | (_, o) :: _ ->
+        Fmt.pr "coordinator schedule (first node):@.";
+        List.iter
+          (fun (r, c) -> Fmt.pr "  rotor round %d: %a@." r Ubpa_util.Node_id.pp c)
+          o.R.P.selections
+    | [] -> ());
+    Fmt.pr "good round (common correct coordinator)=%b@." s.R.good_round_exists;
+    if not s.R.good_round_exists then exit 1
+  in
+  let adversaries =
+    [ ("none", `None); ("silent", `Silent); ("staggered", `Staggered) ]
+  in
+  Cmd.v
+    (Cmd.info "rotor" ~doc:"Rotor-coordinator (Algorithm 2)")
+    Term.(const run $ n_t $ f_t $ seed_t $ adversary_t adversaries)
+
+(* ----- approximate agreement ----- *)
+
+let aa_cmd =
+  let iterations_t =
+    Arg.(value & opt int 4 & info [ "iterations" ] ~docv:"K" ~doc:"Iterations.")
+  in
+  let run n f seed iterations adversary =
+    check_nf n f;
+    let module A = Scenarios.Aa in
+    let byz =
+      match adversary with
+      | `Pull -> List.init f (fun _ -> Ubpa_adversary.Aa_attacks.pull_apart ~low:(-1e6) ~high:1e6)
+      | `Outlier -> List.init f (fun _ -> Ubpa_adversary.Aa_attacks.outlier 1e9)
+      | `Silent -> List.init f (fun _ -> Strategy.silent)
+      | `None -> []
+    in
+    let s =
+      A.run ~seed:(i64 seed) ~byz ~iterations ~n_correct:(n - List.length byz)
+        ~inputs:(fun i -> float_of_int (10 * i))
+        ()
+    in
+    List.iter
+      (fun (id, v) -> Fmt.pr "  %a -> %.6f@." Ubpa_util.Node_id.pp id v)
+      s.A.outputs;
+    let ilo, ihi = s.A.input_range and olo, ohi = s.A.output_range in
+    Fmt.pr "input range [%.1f, %.1f] output range [%.4f, %.4f]@." ilo ihi olo
+      ohi;
+    Fmt.pr "within-range=%b contraction=%.6f (bound %.6f)@." s.A.within_range
+      s.A.contraction
+      (0.5 ** float_of_int iterations);
+    if not s.A.within_range then exit 1
+  in
+  let adversaries =
+    [ ("none", `None); ("pull-apart", `Pull); ("outlier", `Outlier); ("silent", `Silent) ]
+  in
+  Cmd.v
+    (Cmd.info "aa" ~doc:"Approximate agreement (Algorithm 4)")
+    Term.(const run $ n_t $ f_t $ seed_t $ iterations_t $ adversary_t adversaries)
+
+(* ----- parallel consensus ----- *)
+
+let parallel_cmd =
+  let instances_t =
+    Arg.(
+      value & opt int 3
+      & info [ "instances" ] ~docv:"K" ~doc:"Instances per node.")
+  in
+  let run n f seed instances =
+    check_nf n f;
+    let module P = Scenarios.Parallel_int in
+    let byz =
+      if f = 0 then []
+      else
+        P.Attacks.ghost_instance ~id:999 1
+        :: List.init (f - 1) (fun _ -> Strategy.silent)
+    in
+    let s =
+      P.run ~seed:(i64 seed) ~byz ~n_correct:(n - List.length byz)
+        ~inputs:(fun _ -> List.init instances (fun j -> (j, 10 * j)))
+        ()
+    in
+    Fmt.pr "n=%d f=%d rounds=%d msgs=%d@." s.P.n s.P.f s.P.rounds
+      s.P.delivered_msgs;
+    (match s.P.outputs with
+    | (_, pairs) :: _ ->
+        List.iter (fun (id, v) -> Fmt.pr "  instance %d -> %d@." id v) pairs
+    | [] -> ());
+    Fmt.pr "agreement=%b (byzantine ghost instance 999 suppressed)@." s.P.agreed;
+    if not s.P.agreed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "parallel" ~doc:"Parallel consensus (Algorithm 5)")
+    Term.(const run $ n_t $ f_t $ seed_t $ instances_t)
+
+(* ----- renaming ----- *)
+
+let rename_cmd =
+  let run n f seed =
+    check_nf n f;
+    let module R = Scenarios.Renaming_run in
+    let s =
+      R.run ~seed:(i64 seed)
+        ~byz:(List.init f (fun _ -> Strategy.silent))
+        ~n_correct:(n - f) ()
+    in
+    Fmt.pr "n=%d f=%d rounds=%d@." s.R.n s.R.f s.R.rounds;
+    (match s.R.outputs with
+    | (_, (o : Unknown_ba.Renaming.output)) :: _ ->
+        List.iter
+          (fun (id, rank) ->
+            Fmt.pr "  %a -> name %d@." Ubpa_util.Node_id.pp id rank)
+          o.names
+    | [] -> ());
+    Fmt.pr "consistent=%b dense=%b@." s.R.consistent s.R.names_are_dense;
+    if not s.R.consistent then exit 1
+  in
+  Cmd.v
+    (Cmd.info "rename" ~doc:"Byzantine renaming (appendix)")
+    Term.(const run $ n_t $ f_t $ seed_t)
+
+(* ----- terminating reliable broadcast ----- *)
+
+let trb_cmd =
+  let byz_sender_t =
+    Arg.(
+      value & flag
+      & info [ "byzantine-sender" ]
+          ~doc:"Make the designated sender byzantine (and silent).")
+  in
+  let run n f seed byz_sender =
+    check_nf n f;
+    let module T = Scenarios.Trb_str in
+    let s =
+      T.run ~seed:(i64 seed)
+        ~byz:(List.init (max f (if byz_sender then 1 else 0)) (fun _ -> Strategy.silent))
+        ~byz_sender ~n_correct:(n - max f (if byz_sender then 1 else 0))
+        ~payload:"hello" ()
+    in
+    Fmt.pr "n=%d f=%d rounds=%d@." s.T.n s.T.f s.T.rounds;
+    List.iter
+      (fun (id, o) ->
+        Fmt.pr "  %a -> %a@." Ubpa_util.Node_id.pp id
+          Fmt.(option ~none:(any "(empty)") string)
+          o)
+      s.T.outputs;
+    Fmt.pr "agreement=%b@." s.T.agreed;
+    if not s.T.agreed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trb" ~doc:"Terminating reliable broadcast (appendix)")
+    Term.(const run $ n_t $ f_t $ seed_t $ byz_sender_t)
+
+(* ----- total order ----- *)
+
+let order_cmd =
+  let genesis_t =
+    Arg.(value & opt int 4 & info [ "genesis" ] ~docv:"G" ~doc:"Genesis nodes.")
+  in
+  let rounds_t =
+    Arg.(
+      value & opt int 8
+      & info [ "rounds" ] ~docv:"R" ~doc:"Rounds of event submission.")
+  in
+  let run seed genesis rounds =
+    let module T = Scenarios.Total_order_str in
+    let s =
+      T.run ~seed:(i64 seed) ~n_genesis:genesis ~rounds ~events_per_round:1 ()
+    in
+    Fmt.pr "rounds=%d events=%d msgs=%d@." s.T.rounds s.T.events_submitted
+      s.T.delivered_msgs;
+    (match s.T.chains with
+    | (_, (o : T.P.chain_output)) :: _ ->
+        List.iteri
+          (fun i (e : T.P.chain_entry) ->
+            Fmt.pr "  %2d. [r%d] %s@." (i + 1) e.group e.event)
+          o.chain
+    | [] -> ());
+    Fmt.pr "chain-prefix=%b@." s.T.prefix_consistent;
+    if not s.T.prefix_consistent then exit 1
+  in
+  Cmd.v
+    (Cmd.info "order" ~doc:"Dynamic total ordering (Algorithm 6)")
+    Term.(const run $ seed_t $ genesis_t $ rounds_t)
+
+
+(* ----- message-level trace ----- *)
+
+let trace_cmd =
+  let timeline_t =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:"Render an ASCII per-node round timeline instead of a live \
+                event stream.")
+  in
+  let run n f seed timeline =
+    check_nf n f;
+    (* A small consensus run with the engine's live trace enabled: every
+       send, output, and halt is printed as it happens. *)
+    let module C = Unknown_ba.Consensus.Make (Unknown_ba.Value.Int) in
+    let module Net = Network.Make (C) in
+    let module A = Ubpa_adversary.Consensus_attacks.Make (Unknown_ba.Value.Int) in
+    let ids = Scenarios.make_ids ~seed:(i64 seed) n in
+    let correct_ids = List.filteri (fun i _ -> i < n - f) ids in
+    let byz_ids = List.filteri (fun i _ -> i >= n - f) ids in
+    let correct = List.mapi (fun i id -> (id, i mod 2)) correct_ids in
+    let byzantine = List.map (fun id -> (id, A.split_world 0 1)) byz_ids in
+    let trace = Trace.create ~live:(not timeline) () in
+    let net = Net.create ~trace ~correct ~byzantine () in
+    (match Net.run ~max_rounds:200 net with
+    | `All_halted -> ()
+    | `Max_rounds_reached -> Fmt.epr "did not terminate@.");
+    if timeline then
+      Fmt.pr "%s@." (Timeline.to_string (Timeline.of_trace trace))
+    else
+      Fmt.pr "@.%d trace events@." (List.length (Trace.events trace));
+    Fmt.pr "decisions:@.";
+    List.iter
+      (fun (id, v) -> Fmt.pr "  %a -> %d@." Ubpa_util.Node_id.pp id v)
+      (Net.outputs net)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a small consensus with a live message-level trace or an \
+             ASCII timeline")
+    Term.(const run $ n_t $ f_t $ seed_t $ timeline_t)
+
+(* ----- impossibility ----- *)
+
+let impossibility_cmd =
+  let mode_t =
+    Arg.(
+      value
+      & opt (enum [ ("async", `Async); ("semisync", `Semisync) ]) `Async
+      & info [ "mode" ] ~docv:"MODE" ~doc:"async or semisync.")
+  in
+  let delta_t =
+    Arg.(
+      value & opt float 64.
+      & info [ "delta" ] ~docv:"D" ~doc:"Delay bound for semisync mode.")
+  in
+  let run mode delta =
+    let v =
+      match mode with
+      | `Async -> Ubpa_semisync.Partition.asynchronous ~size_a:3 ~size_b:3 ()
+      | `Semisync ->
+          Ubpa_semisync.Partition.semi_synchronous ~size_a:3 ~size_b:3 ~delta ()
+    in
+    Fmt.pr "partition A (inputs 1) decided: %a@."
+      Fmt.(list ~sep:comma int)
+      v.Ubpa_semisync.Partition.outputs_a;
+    Fmt.pr "partition B (inputs 0) decided: %a@."
+      Fmt.(list ~sep:comma int)
+      v.Ubpa_semisync.Partition.outputs_b;
+    Fmt.pr "max delay=%.1f decision times=(%.1f, %.1f)@."
+      v.Ubpa_semisync.Partition.max_delay
+      v.Ubpa_semisync.Partition.decision_time_a
+      v.Ubpa_semisync.Partition.decision_time_b;
+    Fmt.pr "disagreement=%b — agreement without knowing n and f requires \
+            synchrony.@."
+      v.Ubpa_semisync.Partition.disagreement
+  in
+  Cmd.v
+    (Cmd.info "impossibility"
+       ~doc:"Partition constructions of Section 'Synchrony is Necessary'")
+    Term.(const run $ mode_t $ delta_t)
+
+let () =
+  let doc =
+    "Byzantine agreement with unknown participants and failures (PODC 2020) \
+     — simulation driver"
+  in
+  let info = Cmd.info "ubpa" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            consensus_cmd;
+            binary_cmd;
+            rb_cmd;
+            rotor_cmd;
+            aa_cmd;
+            parallel_cmd;
+            rename_cmd;
+            trb_cmd;
+            order_cmd;
+            trace_cmd;
+            impossibility_cmd;
+          ]))

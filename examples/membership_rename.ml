@@ -1,0 +1,48 @@
+(* Byzantine renaming: turning sparse 30-bit node identifiers into dense
+   slot numbers 1..n — e.g. to index a static shard table — without anyone
+   knowing n, and despite Byzantine members (appendix of the paper).
+
+     dune exec examples/membership_rename.exe *)
+
+open Ubpa_util
+open Ubpa_sim
+open Unknown_ba
+
+module Net = Network.Make (Renaming)
+
+let () =
+  let ids = Node_id.scatter ~seed:77L 8 in
+  let correct_ids = List.filteri (fun i _ -> i < 6) ids in
+  let byz_ids = List.filteri (fun i _ -> i >= 6) ids in
+
+  Fmt.pr "6 correct nodes with sparse identifiers:@.";
+  List.iter (fun id -> Fmt.pr "  %a@." Node_id.pp id) correct_ids;
+  Fmt.pr "2 byzantine nodes mirror traffic to look legitimate.@.";
+
+  let correct = List.map (fun id -> (id, ())) correct_ids in
+  let byzantine =
+    List.map (fun id -> (id, Ubpa_adversary.Generic.mirror)) byz_ids
+  in
+  let net = Net.create ~seed:3L ~correct ~byzantine () in
+  (match Net.run net with
+  | `All_halted -> ()
+  | `Max_rounds_reached -> failwith "renaming did not terminate");
+
+  Fmt.pr "@.After %d rounds every node agrees on the slot table:@."
+    (Net.round net);
+  (match Net.outputs net with
+  | (_, (first : Renaming.output)) :: rest ->
+      List.iter
+        (fun (id, slot) -> Fmt.pr "  slot %d <- %a@." slot Node_id.pp id)
+        first.names;
+      (* Consistency: all nodes computed the same table. *)
+      List.iter
+        (fun (_, (o : Renaming.output)) -> assert (o.names = first.names))
+        rest;
+      Fmt.pr "@.Each node also knows its own slot:@.";
+      List.iter
+        (fun (id, (o : Renaming.output)) ->
+          Fmt.pr "  %a -> slot %d@." Node_id.pp id o.my_name)
+        (Net.outputs net)
+  | [] -> failwith "no outputs");
+  Fmt.pr "@.Renaming is consistent across the cluster.@."

@@ -1,0 +1,57 @@
+(* Quickstart: Byzantine consensus among nodes that know neither how many
+   peers exist nor how many may be faulty.
+
+   Seven correct replicas of a configuration service disagree about a
+   proposed configuration version; two compromised replicas equivocate.
+   Nobody is configured with n = 9 or f = 2 — each node knows only its own
+   identifier — yet Algorithm 3 drives every correct replica to the same
+   decision in O(f) rounds.
+
+     dune exec examples/quickstart.exe *)
+
+open Ubpa_util
+open Ubpa_sim
+open Unknown_ba
+
+(* The consensus protocol is a functor over the opinion type. *)
+module Consensus = Consensus.Make (Value.Int)
+module Net = Network.Make (Consensus)
+module Attacks = Ubpa_adversary.Consensus_attacks.Make (Value.Int)
+
+let () =
+  (* Identifiers are unique but *not* consecutive — the id-only model. *)
+  let ids = Node_id.scatter ~seed:2024L 9 in
+  let correct_ids = List.filteri (fun i _ -> i < 7) ids in
+  let byz_ids = List.filteri (fun i _ -> i >= 7) ids in
+
+  (* Four replicas propose version 1, three propose version 2. *)
+  let proposals = [ 1; 1; 1; 1; 2; 2; 2 ] in
+  let correct = List.combine correct_ids proposals in
+
+  (* The compromised replicas tell half the network "1" and the other half
+     "2", at every step of the protocol. *)
+  let byzantine =
+    List.map (fun id -> (id, Attacks.split_world 1 2)) byz_ids
+  in
+
+  Fmt.pr "Cluster of %d replicas (%d compromised), nobody knows n or f.@."
+    (List.length ids) (List.length byz_ids);
+  List.iter2
+    (fun id v -> Fmt.pr "  replica %a proposes version %d@." Node_id.pp id v)
+    correct_ids proposals;
+
+  let net = Net.create ~seed:7L ~correct ~byzantine () in
+  (match Net.run net with
+  | `All_halted -> ()
+  | `Max_rounds_reached -> failwith "consensus did not terminate");
+
+  Fmt.pr "@.After %d synchronous rounds:@." (Net.round net);
+  List.iter
+    (fun (id, version) ->
+      Fmt.pr "  replica %a decided version %d@." Node_id.pp id version)
+    (Net.outputs net);
+
+  let decisions = List.map snd (Net.outputs net) |> List.sort_uniq compare in
+  match decisions with
+  | [ v ] -> Fmt.pr "@.Agreement: every correct replica decided version %d.@." v
+  | _ -> failwith "correct replicas disagreed — this must never happen"

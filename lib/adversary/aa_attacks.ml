@@ -1,0 +1,30 @@
+open Ubpa_sim
+open Unknown_ba
+open Approx_agreement
+
+let pull_apart ~low ~high =
+  Strategy.v ~name:"aa-pull-apart" (fun _rng _self view ->
+      let correct = view.Strategy.correct in
+      let half = List.length correct / 2 in
+      List.mapi
+        (fun i t ->
+          let v = if i < half then low else high in
+          (Envelope.To t, Estimate v))
+        correct)
+
+let outlier v =
+  Strategy.v ~name:"aa-outlier" (fun _rng _self _view ->
+      [ (Envelope.Broadcast, Estimate v) ])
+
+let tracker ~offset =
+  Strategy.v ~name:"aa-tracker" (fun _rng _self view ->
+      let estimates =
+        List.filter_map
+          (fun (_, _, Estimate v) -> Some v)
+          view.Strategy.rushing
+      in
+      match estimates with
+      | [] -> []
+      | _ ->
+          let top = List.fold_left Float.max neg_infinity estimates in
+          [ (Envelope.Broadcast, Estimate (top +. offset)) ])

@@ -1,0 +1,18 @@
+(** Targeted attacks on approximate agreement (Algorithm 4). The classic
+    adversary pulls different correct nodes toward opposite extremes;
+    Lemma "aaWithin" says the [⌊n_v/3⌋] trimming absorbs it. *)
+
+open Ubpa_sim
+open Unknown_ba
+
+val pull_apart : low:float -> high:float -> Approx_agreement.message Strategy.t
+(** Sends [low] to the first half of the correct nodes and [high] to the
+    rest, every round. *)
+
+val outlier : float -> Approx_agreement.message Strategy.t
+(** Broadcasts one absurd value to everyone, every round. *)
+
+val tracker : offset:float -> Approx_agreement.message Strategy.t
+(** Observes the correct nodes' current estimates (rushing view) and sends
+    each node the maximum estimate plus [offset] — an adaptive drag toward
+    the top of the range. *)

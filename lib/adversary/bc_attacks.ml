@@ -1,0 +1,45 @@
+open Ubpa_sim
+open Unknown_ba
+module B = Binary_consensus
+
+let observed_slot view =
+  let kinds =
+    List.filter_map
+      (fun (_, _, payload) ->
+        match payload with
+        | B.Input _ -> Some `Input
+        | B.Support _ -> Some `Support
+        | B.Opinion _ -> Some `Opinion
+        | B.Init | B.Cand_echo _ -> None)
+      view.Strategy.rushing
+  in
+  match kinds with k :: _ -> Some k | [] -> None
+
+let split_world =
+  Strategy.v ~name:"bc-split-world" (fun _rng _self view ->
+      if view.Strategy.round = 1 then [ (Envelope.Broadcast, B.Init) ]
+      else
+        let correct = view.Strategy.correct in
+        let half = List.length correct / 2 in
+        let split make =
+          List.mapi
+            (fun i t -> (Envelope.To t, make (i >= half)))
+            correct
+        in
+        match observed_slot view with
+        | Some `Input -> split (fun v -> B.Input v)
+        | Some `Support -> split (fun v -> B.Support v)
+        | Some `Opinion | None -> split (fun v -> B.Opinion v))
+
+let stubborn v =
+  Strategy.v ~name:"bc-stubborn" (fun _rng _self view ->
+      if view.Strategy.round = 1 then [ (Envelope.Broadcast, B.Init) ]
+      else
+        match observed_slot view with
+        | Some `Input -> [ (Envelope.Broadcast, B.Input v) ]
+        | Some `Support -> [ (Envelope.Broadcast, B.Support v) ]
+        | Some `Opinion | None -> [ (Envelope.Broadcast, B.Opinion v) ])
+
+let silent_member =
+  Strategy.v ~name:"bc-silent-member" (fun _rng _self view ->
+      if view.Strategy.round = 1 then [ (Envelope.Broadcast, B.Init) ] else [])

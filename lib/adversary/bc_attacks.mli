@@ -1,0 +1,15 @@
+(** Targeted attacks on the rotor-driven binary consensus. *)
+
+open Ubpa_sim
+open Unknown_ba
+
+val split_world : Binary_consensus.message Strategy.t
+(** Sends [input]/[support]/[opinion] value [false] to one half of the
+    correct nodes and [true] to the other, in whatever slot the correct
+    nodes are currently speaking. *)
+
+val stubborn : bool -> Binary_consensus.message Strategy.t
+(** Pushes one value everywhere, every slot. *)
+
+val silent_member : Binary_consensus.message Strategy.t
+(** Announces itself during initialization and never speaks again. *)

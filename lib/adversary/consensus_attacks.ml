@@ -1,0 +1,75 @@
+open Ubpa_sim
+open Unknown_ba
+
+module Make (V : Value.S) = struct
+  module C = Consensus_core.Make (V)
+
+  (* What slot are the correct nodes speaking in this round? Observed from
+     the rushing view so the attack stays aligned even when the consensus
+     machine is embedded with a different round offset. *)
+  let observed_slot view =
+    let kinds =
+      List.filter_map
+        (fun (_, _, payload) ->
+          match payload with
+          | C.Input _ -> Some `Input
+          | C.Prefer _ -> Some `Prefer
+          | C.Strongprefer _ -> Some `Strong
+          | C.Opinion _ -> Some `Opinion
+          | C.Init | C.Cand_echo _ -> None)
+        view.Strategy.rushing
+    in
+    match kinds with k :: _ -> Some k | [] -> None
+
+  let split_send ~half ~correct ~v0 ~v1 make =
+    List.mapi
+      (fun i t ->
+        let v = if i < half then v0 else v1 in
+        (Envelope.To t, make v))
+      correct
+
+  let split_world v0 v1 =
+    Strategy.v ~name:"consensus-split-world" (fun _rng _self view ->
+        if view.Strategy.round = 1 then [ (Envelope.Broadcast, C.Init) ]
+        else
+          let correct = view.Strategy.correct in
+          let half = List.length correct / 2 in
+          let split make = split_send ~half ~correct ~v0 ~v1 make in
+          match observed_slot view with
+          | Some `Input -> split (fun v -> C.Input v)
+          | Some `Prefer -> split (fun v -> C.Prefer v)
+          | Some `Strong -> split (fun v -> C.Strongprefer v)
+          | Some `Opinion | None ->
+              (* Rotor slot (or silence): equivocate as a would-be
+                 coordinator. *)
+              split (fun v -> C.Opinion v))
+
+  let stubborn v =
+    Strategy.v ~name:"consensus-stubborn" (fun _rng _self view ->
+        if view.Strategy.round = 1 then [ (Envelope.Broadcast, C.Init) ]
+        else
+          match observed_slot view with
+          | Some `Input -> [ (Envelope.Broadcast, C.Input v) ]
+          | Some `Prefer -> [ (Envelope.Broadcast, C.Prefer v) ]
+          | Some `Strong -> [ (Envelope.Broadcast, C.Strongprefer v) ]
+          | Some `Opinion | None -> [ (Envelope.Broadcast, C.Opinion v) ])
+
+  let half_stubborn v =
+    Strategy.v ~name:"consensus-half-stubborn" (fun _rng _self view ->
+        if view.Strategy.round = 1 then [ (Envelope.Broadcast, C.Init) ]
+        else
+          let correct = view.Strategy.correct in
+          let half = (List.length correct + 1) / 2 in
+          let targets = List.filteri (fun i _ -> i < half) correct in
+          let send make = List.map (fun t -> (Envelope.To t, make v)) targets in
+          match observed_slot view with
+          | Some `Input -> send (fun v -> C.Input v)
+          | Some `Prefer -> send (fun v -> C.Prefer v)
+          | Some `Strong -> send (fun v -> C.Strongprefer v)
+          | Some `Opinion | None -> send (fun v -> C.Opinion v))
+
+  let silent_member =
+    Strategy.v ~name:"consensus-silent-member" (fun _rng _self view ->
+        if view.Strategy.round = 1 then [ (Envelope.Broadcast, C.Init) ]
+        else [])
+end

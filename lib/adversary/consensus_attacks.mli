@@ -1,0 +1,32 @@
+(** Targeted attacks on the early-terminating consensus (Algorithm 3).
+
+    The canonical attack keeps the correct nodes split for as long as
+    possible: the colluders observe (via the rushing view) which message
+    kind the correct nodes are exchanging and send value [v0] to one half
+    of them and [v1] to the other, at every protocol position including the
+    coordinator-opinion slot. Theorem "earlyCon" says a correct coordinator
+    phase still forces agreement within [O(f)] rounds. *)
+
+open Ubpa_sim
+open Unknown_ba
+
+module Make (V : Value.S) : sig
+  module C : module type of Consensus_core.Make (V)
+
+  val split_world : V.t -> V.t -> C.message Strategy.t
+  (** Phase-position-aware equivocation as described above. *)
+
+  val stubborn : V.t -> C.message Strategy.t
+  (** Pushes one fixed value in every slot to every node — a biased but
+      consistent participant (validity must still hold: if all correct
+      inputs agree, the output is that input). *)
+
+  val half_stubborn : V.t -> C.message Strategy.t
+  (** Feeds one value to only the first half of the correct nodes and stays
+      silent toward the rest — quorums form at some nodes but not others,
+      exercising the relay lemmas (rn-g1/rn-g2). *)
+
+  val silent_member : C.message Strategy.t
+  (** Announces itself during initialization (so it inflates every [n_v])
+      and never speaks again — exercises the substitution rule. *)
+end

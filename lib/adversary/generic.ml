@@ -1,0 +1,101 @@
+open Ubpa_util
+open Ubpa_sim
+
+let silent = Strategy.silent
+
+(* Broadcasts of correct node [who] in the current (rushed) round. *)
+let broadcasts_of view who =
+  List.filter_map
+    (fun (src, dst, payload) ->
+      match dst with
+      | Envelope.Broadcast when Node_id.equal src who -> Some payload
+      | _ -> None)
+    view.Strategy.rushing
+
+let crash_after k =
+  Strategy.v ~name:(Printf.sprintf "crash-after-%d" k) (fun _rng _self view ->
+      if view.Strategy.round > k then []
+      else
+        match view.Strategy.correct with
+        | [] -> []
+        | who :: _ ->
+            List.map
+              (fun p -> (Envelope.Broadcast, p))
+              (broadcasts_of view who))
+
+let replay ~delay =
+  Strategy.stateful
+    ~name:(Printf.sprintf "replay-%d" delay)
+    ~init:(fun _rng _self -> Hashtbl.create 16)
+    ~act:(fun stash view ->
+      Hashtbl.replace stash view.Strategy.round
+        (List.map snd view.Strategy.inbox);
+      match Hashtbl.find_opt stash (view.Strategy.round - delay) with
+      | None -> []
+      | Some payloads ->
+          List.map (fun p -> (Envelope.Broadcast, p)) payloads)
+
+let mirror =
+  {
+    Strategy.name = "mirror";
+    make =
+      (fun _rng _self view ->
+      match view.Strategy.correct with
+      | [] -> []
+      | who :: _ ->
+          List.map (fun p -> (Envelope.Broadcast, p)) (broadcasts_of view who));
+  }
+
+let split_mirror =
+  {
+    Strategy.name = "split-mirror";
+    make =
+      (fun _rng _self view ->
+      match view.Strategy.correct with
+      | [] | [ _ ] -> []
+      | correct ->
+          let a = List.hd correct in
+          let b = List.nth correct (List.length correct - 1) in
+          let half = List.length correct / 2 in
+          let left = List.filteri (fun i _ -> i < half) correct in
+          let right = List.filteri (fun i _ -> i >= half) correct in
+          let to_targets targets payloads =
+            List.concat_map
+              (fun t -> List.map (fun p -> (Envelope.To t, p)) payloads)
+              targets
+          in
+          to_targets left (broadcasts_of view a)
+          @ to_targets right (broadcasts_of view b));
+  }
+
+let spam =
+  {
+    Strategy.name = "spam";
+    make =
+      (fun _rng _self view ->
+      let observed =
+        List.map snd view.Strategy.inbox
+        @ List.map (fun (_, _, p) -> p) view.Strategy.rushing
+      in
+      List.map (fun p -> (Envelope.Broadcast, p)) observed);
+  }
+
+let random_mix =
+  {
+    Strategy.name = "random-mix";
+    make =
+      (fun rng _self view ->
+      let observed =
+        List.map snd view.Strategy.inbox
+        @ List.map (fun (_, _, p) -> p) view.Strategy.rushing
+      in
+      match (observed, view.Strategy.correct) with
+      | [], _ | _, [] -> []
+      | _ ->
+          List.filter_map
+            (fun p ->
+              if Rng.bool rng then
+                Some (Envelope.To (Rng.pick rng view.Strategy.correct), p)
+              else None)
+            observed);
+  }

@@ -1,0 +1,39 @@
+(** Protocol-agnostic Byzantine strategies.
+
+    These work for any message type because they only replay, remix, or
+    redirect traffic the adversary observed (its inbox, plus — since the
+    engine runs a rushing adversary — the messages correct nodes are sending
+    in the current round). *)
+
+open Ubpa_sim
+
+val silent : 'm Strategy.t
+(** Joins (so it is counted in [n_v]) but never speaks. Re-exported from
+    {!Ubpa_sim.Strategy}. *)
+
+val crash_after : int -> 'm Strategy.t
+(** Mirrors a correct node's traffic for [k] rounds, then goes silent —
+    a crash fault. *)
+
+val replay : delay:int -> 'm Strategy.t
+(** Re-broadcasts every payload it received, [delay] rounds late: stale
+    messages from past rounds. *)
+
+val mirror : 'm Strategy.t
+(** Copies the broadcasts of the first correct node each round — a
+    plausible-looking but valueless participant. *)
+
+val split_mirror : 'm Strategy.t
+(** Equivocation kit: copies the round's broadcasts of one correct node to
+    the first half of the correct nodes and those of a different correct
+    node to the second half — correct nodes receive conflicting but
+    individually well-formed traffic. *)
+
+val spam : 'm Strategy.t
+(** Re-broadcasts everything observed this round (inbox and rushed correct
+    traffic), flooding tallies with duplicates that the model forces the
+    engine to drop. *)
+
+val random_mix : 'm Strategy.t
+(** Each round, sends a random subset of observed payloads to random
+    individual targets — unstructured noise. *)

@@ -1,0 +1,51 @@
+open Ubpa_sim
+open Unknown_ba
+
+module Make (V : Value.S) = struct
+  module Pc = Parallel_consensus_core.Make (V)
+
+  (* The input slot is the round in which correct nodes broadcast
+     [Inst (_, Input _)] traffic; observed from the rushing view. *)
+  let correct_sending_inputs view =
+    List.exists
+      (fun (_, _, payload) ->
+        match payload with Pc.Inst (_, Pc.Input _) -> true | _ -> false)
+      view.Strategy.rushing
+
+  let ghost_instance ~id v =
+    Strategy.v ~name:"pc-ghost-instance" (fun _rng _self view ->
+        if view.Strategy.round = 1 then [ (Envelope.Broadcast, Pc.Init) ]
+        else if view.Strategy.round = 3 then
+          (* Phase 1, input slot: plant the ghost. *)
+          [ (Envelope.Broadcast, Pc.Inst (id, Pc.Input (Some v))) ]
+        else [])
+
+  let late_instance ~id v ~after_round =
+    Strategy.v ~name:"pc-late-instance" (fun _rng _self view ->
+        if view.Strategy.round = 1 then [ (Envelope.Broadcast, Pc.Init) ]
+        else if view.Strategy.round > after_round then
+          [ (Envelope.Broadcast, Pc.Inst (id, Pc.Input (Some v))) ]
+        else [])
+
+  let marker_flood ~id =
+    Strategy.v ~name:"pc-marker-flood" (fun _rng _self view ->
+        if view.Strategy.round = 1 then [ (Envelope.Broadcast, Pc.Init) ]
+        else
+          [
+            (Envelope.Broadcast, Pc.Inst (id, Pc.Nopreference));
+            (Envelope.Broadcast, Pc.Inst (id, Pc.Nostrongpreference));
+          ])
+
+  let split_instance ~id v0 v1 =
+    Strategy.v ~name:"pc-split-instance" (fun _rng _self view ->
+        if view.Strategy.round = 1 then [ (Envelope.Broadcast, Pc.Init) ]
+        else if correct_sending_inputs view then
+          let correct = view.Strategy.correct in
+          let half = List.length correct / 2 in
+          List.mapi
+            (fun i t ->
+              let v = if i < half then v0 else v1 in
+              (Envelope.To t, Pc.Inst (id, Pc.Input (Some v))))
+            correct
+        else [])
+end

@@ -1,0 +1,26 @@
+(** Targeted attacks on parallel consensus (Algorithm 5). *)
+
+open Ubpa_sim
+open Unknown_ba
+
+module Make (V : Value.S) : sig
+  module Pc : module type of Parallel_consensus_core.Make (V)
+
+  val ghost_instance : id:int -> V.t -> Pc.message Strategy.t
+  (** Injects [id:input(v)] traffic for an instance no correct node holds.
+      Theorem "parCon": the correct nodes must discover the instance,
+      converge on ⊥ and output nothing for [id]. *)
+
+  val late_instance : id:int -> V.t -> after_round:int -> Pc.message Strategy.t
+  (** Injects the instance only after [after_round] — past the first phase
+      the messages must simply be discarded. *)
+
+  val marker_flood : id:int -> Pc.message Strategy.t
+  (** Floods [nopreference]/[nostrongpreference] markers for a real
+      instance in every round — markers must suppress substitution without
+      ever counting toward a value's tally. *)
+
+  val split_instance : id:int -> V.t -> V.t -> Pc.message Strategy.t
+  (** Equivocates within one instance: sends [input(v0)] to half the
+      correct nodes and [input(v1)] to the rest in the input slot. *)
+end

@@ -1,0 +1,27 @@
+(** Targeted attacks on the reliable-broadcast algorithm. Each strategy
+    attacks one proof obligation of Algorithm 1. *)
+
+open Ubpa_sim
+open Unknown_ba
+
+module Make (V : Value.S) : sig
+  module Rb : module type of Reliable_broadcast.Make (V)
+
+  val equivocating_sender : V.t -> V.t -> Rb.message Strategy.t
+  (** A Byzantine {e designated sender}: round 1 sends payload [m1] to the
+      first half of the correct nodes and [m2] to the rest. Attacks the
+      relay property — correct nodes must still converge (accept both or
+      neither, within one round of each other). *)
+
+  val partial_sender : V.t -> fraction:float -> Rb.message Strategy.t
+  (** Sends the payload to only [fraction] of the correct nodes in round 1
+      and stays silent after, staggering echo counts across nodes. *)
+
+  val forging_echoer : V.t -> claimed:Ubpa_util.Node_id.t -> Rb.message Strategy.t
+  (** Every round echoes [(m, claimed)] for a sender that never broadcast —
+      attacks unforgeability ([f < n_v/3] echoes must never be enough). *)
+
+  val echo_amplifier : Rb.message Strategy.t
+  (** Re-echoes every echo it observes, trying to push borderline payloads
+      over thresholds at some nodes only. *)
+end

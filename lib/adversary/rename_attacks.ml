@@ -1,0 +1,31 @@
+open Ubpa_util
+open Ubpa_sim
+open Unknown_ba
+
+let take_fraction fraction l =
+  let k = int_of_float (ceil (fraction *. float_of_int (List.length l))) in
+  List.filteri (fun i _ -> i < k) l
+
+let partial_announcer ~fraction =
+  Strategy.v ~name:"rename-partial-announcer" (fun _rng _self view ->
+      if view.Strategy.round = 1 then
+        List.map
+          (fun t -> (Envelope.To t, Renaming.Init))
+          (take_fraction fraction view.Strategy.correct)
+      else [])
+
+let vote_rusher =
+  Strategy.v ~name:"rename-vote-rusher" (fun _rng _self view ->
+      if view.Strategy.round = 1 then [ (Envelope.Broadcast, Renaming.Init) ]
+      else
+        List.init 4 (fun i ->
+            (Envelope.Broadcast, Renaming.Terminate (view.Strategy.round + i - 2))))
+
+let churning_candidate =
+  Strategy.v ~name:"rename-churning-candidate" (fun _rng self view ->
+      if view.Strategy.round = 1 then [ (Envelope.Broadcast, Renaming.Init) ]
+      else
+        let ghost =
+          Node_id.of_int ((Node_id.to_int self * 1000) + view.Strategy.round)
+        in
+        [ (Envelope.Broadcast, Renaming.Echo ghost) ])

@@ -1,0 +1,21 @@
+(** Targeted attacks on the Byzantine renaming algorithm (appendix). *)
+
+open Ubpa_sim
+open Unknown_ba
+
+val partial_announcer : fraction:float -> Renaming.message Strategy.t
+(** Announces [init] to only the first [fraction] of the correct nodes, so
+    its identifier percolates into the sets [S] of different nodes in
+    different rounds — the staggered insertions Lemma "rn-s" must survive
+    (the stability window and termination votes must still produce a
+    common set). *)
+
+val vote_rusher : Renaming.message Strategy.t
+(** Floods premature [terminate(k)] votes for many [k] values every round;
+    with only [f < n_v/3] colluders the votes must never reach the relay
+    threshold, let alone the termination quorum. *)
+
+val churning_candidate : Renaming.message Strategy.t
+(** Announces normally, then echoes a fresh ghost identifier every round —
+    trying to keep some [S] unstable forever. Ghost echoes from [f]
+    colluders never cross [n_v/3], so stability must still be reached. *)

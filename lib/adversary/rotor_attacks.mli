@@ -1,0 +1,27 @@
+(** Targeted attacks on the rotor-coordinator (Algorithm 2). The lever the
+    adversary actually has is {e staggered self-announcement}: announcing
+    [init] to only part of the network makes its candidacy percolate
+    through relayed echoes over several rounds, maximizing non-silent
+    rounds and stretching termination — the situation Lemma "rc-gdrnd"
+    reasons about. *)
+
+open Ubpa_sim
+open Unknown_ba
+
+module Make (V : Value.S) : sig
+  module R : module type of Rotor.Make (V)
+
+  val staggered_announcer : fraction:float -> R.message Strategy.t
+  (** Round 1: sends [init] to only the first [fraction] of the correct
+      nodes; never echoes anything afterwards. *)
+
+  val two_faced_coordinator : V.t -> V.t -> R.message Strategy.t
+  (** Announces normally; every round sends opinion [a] to one half of the
+      correct nodes and [b] to the other — when this node's turn as
+      coordinator comes, correct nodes accept conflicting opinions (the
+      rotor only guarantees a {e correct} common coordinator eventually). *)
+
+  val ghost_candidate_pusher : Ubpa_util.Node_id.t list -> R.message Strategy.t
+  (** Echoes non-existent identifiers every round; with only [f < n_v/3]
+      colluders those ghosts must never enter any correct [C_v]. *)
+end

@@ -1,0 +1,79 @@
+open Ubpa_sim
+open Unknown_ba
+
+module Make (V : Value.S) = struct
+  module T = Total_order.Make (V)
+
+  let ack_liar ~offset =
+    Strategy.v ~name:"to-ack-liar" (fun _rng _self view ->
+        (* Answer presents observed in the rushing view (the announcement
+           arrives at correct nodes this round; honest acks go out now). *)
+        let announcers =
+          List.filter_map
+            (fun (src, _, payload) ->
+              match payload with T.Present -> Some src | _ -> None)
+            view.Strategy.rushing
+        in
+        List.map
+          (fun u -> (Envelope.To u, T.Ack (view.Strategy.round + offset)))
+          announcers)
+
+  let event_forger v =
+    Strategy.v ~name:"to-event-forger" (fun _rng _self view ->
+        let r = view.Strategy.round in
+        [
+          (Envelope.Broadcast, T.Event (v, r));
+          (Envelope.Broadcast, T.Event (v, r - 1));
+          (Envelope.Broadcast, T.Event (v, r + 3));
+        ])
+
+  let phantom_present =
+    Strategy.v ~name:"to-phantom-present" (fun _rng _self view ->
+        if view.Strategy.round = 1 then
+          let correct = view.Strategy.correct in
+          let half = List.length correct / 2 in
+          List.filteri (fun i _ -> i < half) correct
+          |> List.map (fun t -> (Envelope.To t, T.Present))
+        else [])
+
+  let group_splitter =
+    Strategy.v ~name:"to-group-splitter" (fun _rng _self view ->
+        (* Find the youngest parallel-consensus group the correct nodes
+           are speaking in and equivocate inside it: an observed event
+           value to one half of the nodes, ⊥ to the other. Chain forks
+           would follow if the group's pair-set agreement broke. *)
+        let groups =
+          List.filter_map
+            (fun (_, _, payload) ->
+              match payload with
+              | T.Group (g, T.Pc.Inst (id, T.Pc.Input (Some v))) ->
+                  Some (g, id, v)
+              | _ -> None)
+            view.Strategy.rushing
+        in
+        match groups with
+        | [] -> []
+        | _ ->
+            let g, id, v =
+              List.fold_left
+                (fun ((g, _, _) as acc) ((g', _, _) as c) ->
+                  if g' > g then c else acc)
+                (List.hd groups) groups
+            in
+            let correct = view.Strategy.correct in
+            let half = List.length correct / 2 in
+            List.mapi
+              (fun i t ->
+                let body =
+                  if i < half then T.Pc.Input (Some v) else T.Pc.Input None
+                in
+                (Envelope.To t, T.Group (g, T.Pc.Inst (id, body))))
+              correct)
+
+  let absent_flipper =
+    Strategy.v ~name:"to-absent-flipper" (fun _rng _self view ->
+        match view.Strategy.round mod 6 with
+        | 1 -> [ (Envelope.Broadcast, T.Present) ]
+        | 4 -> [ (Envelope.Broadcast, T.Absent) ]
+        | _ -> [])
+end

@@ -1,0 +1,35 @@
+(** Targeted attacks on the dynamic total-ordering algorithm. *)
+
+open Ubpa_sim
+open Unknown_ba
+
+module Make (V : Value.S) : sig
+  module T : module type of Total_order.Make (V)
+
+  val ack_liar : offset:int -> T.message Strategy.t
+  (** Answers every [present] announcement with a wrong [(ack, r+offset)] —
+      trying to desynchronize joiners' logical clocks. Joiners take the
+      plurality of acks, so [f] liars lose against [g] honest answers. *)
+
+  val event_forger : V.t -> T.message Strategy.t
+  (** Broadcasts events tagged with many different round numbers each
+      round. Correct nodes fold them into the matching group's inputs
+      (events are keyed by the {e sender}, which is authenticated), so the
+      worst case is a legitimate-looking byzantine event — never a split
+      chain. *)
+
+  val phantom_present : T.message Strategy.t
+  (** Sends [present] to only half of the correct nodes, making membership
+      views diverge: half include the byzantine node in their group
+      snapshots, half do not. Group parallel consensus must still agree. *)
+
+  val group_splitter : T.message Strategy.t
+  (** Equivocates {e inside} the youngest live parallel-consensus group —
+      replaying an observed event input to half the nodes and ⊥ to the
+      rest. Pair-set agreement inside the group must hold, or the chains
+      would fork. *)
+
+  val absent_flipper : T.message Strategy.t
+  (** Alternates [present] / [absent] announcements every few rounds,
+      churning every correct node's [S]. *)
+end

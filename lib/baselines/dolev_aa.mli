@@ -1,0 +1,24 @@
+(** Approximate agreement with a {e known} fault bound [f] (Dolev,
+    Lynch, Pinter, Stark, Weihl — the classic the paper's Algorithm 4
+    generalizes).
+
+    Identical exchange pattern to the unknown-participant version but each
+    node discards exactly [f] smallest and [f] largest received values —
+    the information the id-only model withholds. Baseline for the
+    convergence-rate comparison (the paper claims the rate is unchanged). *)
+
+type input = { value : float; iterations : int; f : int }
+
+type progress = { iteration : int; estimate : float; n_v : int }
+
+type message = Estimate of float
+
+include
+  Ubpa_sim.Protocol.S
+    with type input := input
+     and type stimulus = Ubpa_sim.Protocol.No_stimulus.t
+     and type output = progress
+     and type message := message
+
+val reduce : f:int -> float list -> float option
+(** Discard [f] extremes on each side and take the midpoint. *)

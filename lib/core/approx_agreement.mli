@@ -1,0 +1,42 @@
+(** Approximate agreement in the id-only model (Algorithm 4).
+
+    Each correct node broadcasts its real-valued input, discards the
+    [⌊n_v/3⌋] smallest and largest received values and outputs the midpoint
+    of the remaining extremes. For [n > 3f] (Lemmas "aaWithin"/"aaMed"):
+
+    - every output lies within the range of correct inputs, and
+    - the output range is at most {e half} the input range.
+
+    The protocol generalizes to an iterated form — feed the output back as
+    the next round's input — halving the correct range every iteration; the
+    iteration count is part of the input (the paper's one-shot algorithm is
+    [iterations = 1]). It also runs unchanged in dynamic networks (Section
+    "Application to Dynamic Networks"): nodes may join mid-run, subject to
+    [n > 3f] per round. *)
+
+
+type input = { value : float; iterations : int }
+
+type progress = {
+  iteration : int;  (** 1-based iteration that just completed. *)
+  estimate : float;  (** The node's value after that iteration. *)
+  n_v : int;  (** Values received in that iteration. *)
+}
+
+type message = Estimate of float
+
+(** Correct nodes may be asked to leave a dynamic run early. *)
+type stimulus = Leave
+
+include
+  Ubpa_sim.Protocol.S
+    with type input := input
+     and type stimulus := stimulus
+     and type output = progress
+     and type message := message
+
+val midpoint_rule : float list -> float option
+(** [midpoint_rule values] applies Algorithm 4's reduction to a received
+    multiset: discard [⌊n/3⌋] extremes on each side, return the midpoint of
+    what remains ([None] on the empty list). Exposed for tests and for the
+    known-f baseline comparison. *)

@@ -1,0 +1,253 @@
+open Ubpa_util
+open Ubpa_sim
+
+module Make (V : Value.S) = struct
+  type message =
+    | Init
+    | Cand_echo of Node_id.t
+    | Input of V.t
+    | Prefer of V.t
+    | Strongprefer of V.t
+    | Opinion of V.t
+
+  let pp_message ppf = function
+    | Init -> Fmt.string ppf "init"
+    | Cand_echo p -> Fmt.pf ppf "echo(%a)" Node_id.pp p
+    | Input x -> Fmt.pf ppf "input(%a)" V.pp x
+    | Prefer x -> Fmt.pf ppf "prefer(%a)" V.pp x
+    | Strongprefer x -> Fmt.pf ppf "strongprefer(%a)" V.pp x
+    | Opinion x -> Fmt.pf ppf "opinion(%a)" V.pp x
+
+  type status = Running | Decided of V.t
+
+  type t = {
+    self : Node_id.t;
+    rotor : Rotor_core.t;
+    mutable x_v : V.t;
+    mutable local_round : int;
+    mutable heard_from : Node_id.Set.t;  (** only used before round 3 *)
+    mutable members : Node_id.Set.t;
+    mutable n_v : int;
+    mutable cand_buffer : (Node_id.t * Node_id.t) list;
+        (** (sender, candidate) echoes accumulated for the next rotor round *)
+    mutable coordinator : Node_id.t option;
+        (** selected at position 4, consulted at position 5 *)
+    mutable strong_stash : (Node_id.t * V.t) list;
+        (** strongprefer messages delivered at position 4, counted at 5 *)
+    mutable sent_input : V.t option;  (** my broadcast at position 1 *)
+    mutable sent_prefer : V.t option;  (** my broadcast at position 2 *)
+    mutable sent_strong : V.t option;  (** my broadcast at position 3 *)
+    mutable phase_silent : Node_id.Set.t;
+        (** members that sent no [input] this phase — terminated (or
+            byz-silent) nodes whose messages get substituted *)
+  }
+
+  let create ~self ~input =
+    {
+      self;
+      rotor = Rotor_core.create ();
+      x_v = input;
+      local_round = 0;
+      heard_from = Node_id.Set.empty;
+      members = Node_id.Set.empty;
+      n_v = 0;
+      cand_buffer = [];
+      coordinator = None;
+      strong_stash = [];
+      sent_input = None;
+      sent_prefer = None;
+      sent_strong = None;
+      phase_silent = Node_id.Set.empty;
+    }
+
+  let opinion t = t.x_v
+  let members t = Node_id.Set.elements t.members
+  let n_v t = t.n_v
+
+  let phase t =
+    if t.local_round < 3 then 0 else ((t.local_round - 3) / 5) + 1
+
+  let position t = ((t.local_round - 3) mod 5) + 1
+
+  (* Count messages of one kind from this round's inbox. Members of
+     [eligible] that sent nothing of this kind are substituted with
+     [my_send] — the message this node itself sent of that kind — per the
+     caption of Algorithm 3. Returns the tally and the set of real
+     senders. *)
+  let tally_with_substitution ~extract ~my_send ~eligible inbox =
+    let tally = Tally.create ~compare:V.compare () in
+    let spoke = ref Node_id.Set.empty in
+    List.iter
+      (fun (src, msg) ->
+        match extract msg with
+        | Some x ->
+            spoke := Node_id.Set.add src !spoke;
+            Tally.add tally ~sender:src x
+        | None -> ())
+      inbox;
+    (match my_send with
+    | None -> ()
+    | Some x ->
+        Node_id.Set.iter
+          (fun m -> Tally.add tally ~sender:m x)
+          (Node_id.Set.diff eligible !spoke));
+    (tally, !spoke)
+
+  let buffer_cand_echoes t inbox =
+    List.iter
+      (fun (src, msg) ->
+        match msg with
+        | Cand_echo p -> t.cand_buffer <- (src, p) :: t.cand_buffer
+        | _ -> ())
+      inbox
+
+  let step t ~inbox =
+    t.local_round <- t.local_round + 1;
+    (* Membership discipline: before round 3 every sender is recorded; from
+       round 3 on, messages from non-members are discarded. *)
+    let inbox =
+      if t.local_round <= 3 then begin
+        List.iter
+          (fun (src, _) -> t.heard_from <- Node_id.Set.add src t.heard_from)
+          inbox;
+        inbox
+      end
+      else List.filter (fun (src, _) -> Node_id.Set.mem src t.members) inbox
+    in
+    match t.local_round with
+    | 1 -> ([ (Envelope.Broadcast, Init) ], Running)
+    | 2 ->
+        let sends =
+          List.filter_map
+            (fun (src, msg) ->
+              match msg with
+              | Init -> Some (Envelope.Broadcast, Cand_echo src)
+              | _ -> None)
+            inbox
+        in
+        (sends, Running)
+    | _ -> (
+        if t.local_round = 3 then begin
+          t.members <- t.heard_from;
+          t.n_v <- Node_id.Set.cardinal t.members
+        end;
+        buffer_cand_echoes t inbox;
+        match position t with
+        | 1 ->
+            (* Fresh phase: broadcast the current opinion. *)
+            t.sent_input <- Some t.x_v;
+            t.sent_prefer <- None;
+            t.sent_strong <- None;
+            t.coordinator <- None;
+            t.strong_stash <- [];
+            ([ (Envelope.Broadcast, Input t.x_v) ], Running)
+        | 2 ->
+            let tally, spoke =
+              tally_with_substitution
+                ~extract:(function Input x -> Some x | _ -> None)
+                ~my_send:t.sent_input ~eligible:t.members inbox
+            in
+            (* Members without an input this phase are terminated (or
+               byz-silent); their later messages are substituted too. *)
+            t.phase_silent <- Node_id.Set.diff t.members spoke;
+            let sends =
+              match Tally.max_by_count tally with
+              | Some (x, count)
+                when Threshold.ge_two_thirds ~count ~of_:t.n_v ->
+                  t.sent_prefer <- Some x;
+                  [ (Envelope.Broadcast, Prefer x) ]
+              | _ -> []
+            in
+            (sends, Running)
+        | 3 ->
+            let tally, _ =
+              tally_with_substitution
+                ~extract:(function Prefer x -> Some x | _ -> None)
+                ~my_send:t.sent_prefer ~eligible:t.phase_silent inbox
+            in
+            let sends =
+              match Tally.max_by_count tally with
+              | Some (x, count) when Threshold.ge_third ~count ~of_:t.n_v ->
+                  t.x_v <- x;
+                  if Threshold.ge_two_thirds ~count ~of_:t.n_v then begin
+                    t.sent_strong <- Some x;
+                    [ (Envelope.Broadcast, Strongprefer x) ]
+                  end
+                  else []
+              | _ -> []
+            in
+            (sends, Running)
+        | 4 ->
+            (* Rotor round: consume buffered candidate echoes, stash the
+               strongprefer messages for position 5. *)
+            t.strong_stash <-
+              List.filter_map
+                (fun (src, msg) ->
+                  match msg with Strongprefer x -> Some (src, x) | _ -> None)
+                inbox;
+            let echoes = t.cand_buffer in
+            t.cand_buffer <- [];
+            let res =
+              Rotor_core.rotor_round t.rotor ~self:t.self ~n_v:t.n_v ~echoes
+            in
+            t.coordinator <- res.selected;
+            let sends =
+              List.map (fun p -> (Envelope.Broadcast, Cand_echo p)) res.relay_echoes
+            in
+            let sends =
+              if res.i_am_coordinator then
+                (Envelope.Broadcast, Opinion t.x_v) :: sends
+              else sends
+            in
+            (sends, Running)
+        | _ ->
+            (* Position 5: resolve the phase. The strongprefer tally comes
+               from position 4's inbox; the coordinator's opinion arrives
+               now. *)
+            let tally =
+              let tly = Tally.create ~compare:V.compare () in
+              List.iter
+                (fun (src, x) -> Tally.add tly ~sender:src x)
+                t.strong_stash;
+              (* Substitute my own strongprefer for phase-silent members. *)
+              (match t.sent_strong with
+              | None -> ()
+              | Some x ->
+                  let spoke =
+                    Node_id.Set.of_list (List.map fst t.strong_stash)
+                  in
+                  Node_id.Set.iter
+                    (fun m -> Tally.add tly ~sender:m x)
+                    (Node_id.Set.diff t.phase_silent spoke));
+              tly
+            in
+            let coordinator_opinion =
+              match t.coordinator with
+              | None -> None
+              | Some p ->
+                  List.fold_left
+                    (fun acc (src, msg) ->
+                      match msg with
+                      | Opinion x when Node_id.equal src p -> Some x
+                      | _ -> acc)
+                    None inbox
+            in
+            let best = Tally.max_by_count tally in
+            (match best with
+            | Some (x, count) when Threshold.ge_third ~count ~of_:t.n_v ->
+                ignore x
+            | _ -> (
+                (* No value reached n_v/3 strong preferences: adopt the
+                   coordinator's opinion. *)
+                match coordinator_opinion with
+                | Some c -> t.x_v <- c
+                | None -> ()));
+            let status =
+              match best with
+              | Some (x, count)
+                when Threshold.ge_two_thirds ~count ~of_:t.n_v ->
+                  Decided x
+              | _ -> Running
+            in
+            ([], status))
+end

@@ -1,0 +1,23 @@
+open Ubpa_sim
+
+module Make (V : Value.S) = struct
+  module Core = Parallel_consensus_core.Make (V)
+
+  type input = (int * V.t) list
+  type stimulus = Protocol.No_stimulus.t
+  type output = (int * V.t) list
+  type message = Core.message
+  type state = Core.t
+
+  let name = "parallel-consensus"
+  let pp_message = Core.pp_message
+  let init ~self ~round:_ inputs = Core.create ~self ~inputs ()
+
+  let step ~self:_ ~round:_ ~stim:_ st ~inbox =
+    let sends, status = Core.step st ~inbox in
+    match status with
+    | Core.Running -> (st, sends, Protocol.Continue)
+    | Core.Done outputs -> (st, sends, Protocol.Stop outputs)
+
+  let decided_all = Core.decided
+end

@@ -1,0 +1,114 @@
+open Ubpa_util
+open Ubpa_sim
+
+module Make (V : Value.S) = struct
+  type accepted = { payload : V.t; sender : Node_id.t; accepted_round : int }
+
+  type message_view = Payload of V.t | Present | Echo of V.t * Node_id.t
+  type message = message_view
+
+  let view m = m
+  let inject m = m
+
+  type input = V.t option
+  type stimulus = Protocol.No_stimulus.t
+  type output = accepted list
+
+  (* Keyed acceptance state per (payload, sender). *)
+  module Pair = struct
+    type t = V.t * Node_id.t
+
+    let compare (m, s) (m', s') =
+      match V.compare m m' with 0 -> Node_id.compare s s' | c -> c
+  end
+
+  module Pair_map = Map.Make (Pair)
+
+  type state = {
+    my_payload : V.t option;
+    mutable heard_from : Node_id.Set.t;  (** senders seen so far; |.| = n_v *)
+    mutable accepted : accepted list;  (** newest first *)
+    mutable accepted_set : int Pair_map.t;  (** pair -> accept round *)
+    mutable local_round : int;  (** rounds since this node joined, from 1 *)
+  }
+
+  let name = "reliable-broadcast"
+
+  let init ~self:_ ~round:_ input =
+    {
+      my_payload = input;
+      heard_from = Node_id.Set.empty;
+      accepted = [];
+      accepted_set = Pair_map.empty;
+      local_round = 0;
+    }
+
+  let pp_message ppf = function
+    | Payload m -> Fmt.pf ppf "payload(%a)" V.pp m
+    | Present -> Fmt.string ppf "present"
+    | Echo (m, s) -> Fmt.pf ppf "echo(%a,%a)" V.pp m Node_id.pp s
+
+  let note_senders st inbox =
+    List.iter
+      (fun (src, _) -> st.heard_from <- Node_id.Set.add src st.heard_from)
+      inbox
+
+  let step ~self:_ ~round ~stim:_ st ~inbox =
+    st.local_round <- st.local_round + 1;
+    note_senders st inbox;
+    let n_v = Node_id.Set.cardinal st.heard_from in
+    match st.local_round with
+    | 1 ->
+        (* Round 1: designated senders broadcast their payload, everyone
+           else announces presence so that n_v >= g at every node. *)
+        let send =
+          match st.my_payload with
+          | Some m -> Payload m
+          | None -> Present
+        in
+        (st, [ (Envelope.Broadcast, send) ], Protocol.Continue)
+    | 2 ->
+        (* Round 2: echo payloads received directly from their sender. *)
+        let sends =
+          List.filter_map
+            (fun (src, msg) ->
+              match msg with
+              | Payload m -> Some (Envelope.Broadcast, Echo (m, src))
+              | Present | Echo _ -> None)
+            inbox
+        in
+        (st, sends, Protocol.Continue)
+    | _ ->
+        (* Rounds >= 3: per-round echo tallies against n_v thresholds. *)
+        let tally = Tally.create ~compare:Pair.compare () in
+        List.iter
+          (fun (src, msg) ->
+            match msg with
+            | Echo (m, s) -> Tally.add tally ~sender:src (m, s)
+            | Payload _ | Present -> ())
+          inbox;
+        let sends = ref [] in
+        let newly_accepted = ref false in
+        List.iter
+          (fun pair ->
+            let already = Pair_map.mem pair st.accepted_set in
+            let count = Tally.count tally pair in
+            if (not already) && Threshold.ge_third ~count ~of_:n_v then begin
+              let m, s = pair in
+              sends := (Envelope.Broadcast, Echo (m, s)) :: !sends
+            end;
+            if (not already) && Threshold.ge_two_thirds ~count ~of_:n_v then begin
+              let m, s = pair in
+              st.accepted_set <- Pair_map.add pair round st.accepted_set;
+              st.accepted <-
+                { payload = m; sender = s; accepted_round = round }
+                :: st.accepted;
+              newly_accepted := true
+            end)
+          (Tally.contents tally);
+        let status =
+          if !newly_accepted then Protocol.Deliver (List.rev st.accepted)
+          else Protocol.Continue
+        in
+        (st, !sends, status)
+end

@@ -1,0 +1,50 @@
+(** Opinion values.
+
+    The consensus algorithms of the paper operate on real-valued opinions
+    ("We consider real number inputs here ... since we use it later for
+    ordering events"). The implementation is generic in the opinion type;
+    instances for the common cases live here. *)
+
+module type S = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+end
+
+module Bool : S with type t = bool = struct
+  type t = bool
+
+  let compare = Stdlib.compare
+  let pp = Fmt.bool
+end
+
+module Int : S with type t = int = struct
+  type t = int
+
+  let compare = Stdlib.compare
+  let pp = Fmt.int
+end
+
+module Float : S with type t = float = struct
+  type t = float
+
+  let compare = Float.compare
+  let pp = Fmt.float
+end
+
+module String : S with type t = string = struct
+  type t = string
+
+  let compare = Stdlib.compare
+  let pp = Fmt.string
+end
+
+(** Lift a value module to values-with-bottom, used by parallel consensus
+    where [None] encodes the paper's ⊥ opinion. *)
+module Option (V : S) : S with type t = V.t option = struct
+  type t = V.t option
+
+  let compare = Option.compare V.compare
+  let pp = Fmt.option ~none:(Fmt.any "⊥") V.pp
+end

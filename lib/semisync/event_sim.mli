@@ -1,0 +1,47 @@
+(** Discrete-event execution of round-based protocols under arbitrary
+    message delays.
+
+    The paper's Section "Synchrony is Necessary" constructs executions in
+    semi-synchronous and asynchronous systems in which nodes that do not
+    know [n] and [f] disagree. This engine realizes those constructions:
+    the {e same} protocol state machines that run on the synchronous engine
+    are driven here by local timers — every [round_duration] time units a
+    node performs one protocol round over whatever messages have arrived —
+    while an adversarial [delay] function controls each message's transit
+    time. A node has no way to tell a slow link from an absent sender,
+    which is precisely the indistinguishability the impossibility proofs
+    exploit. *)
+
+open Ubpa_util
+
+module Make (P : Ubpa_sim.Protocol.S) : sig
+  type t
+
+  val create :
+    ?round_duration:float ->
+    delay:(src:Node_id.t -> dst:Node_id.t -> at:float -> float) ->
+    nodes:(Node_id.t * P.input) list ->
+    unit ->
+    t
+  (** [delay ~src ~dst ~at] must be positive. [round_duration] defaults to
+      1.0 — nodes tick at times 1.0, 2.0, ... *)
+
+  val run : until:float -> t -> unit
+  (** Process events up to (and including) time [until], or until every
+      node halted. *)
+
+  val all_halted : t -> bool
+  val now : t -> float
+
+  val outputs : t -> (Node_id.t * P.output option) list
+  val decided_at : t -> Node_id.t -> float option
+  (** Time of the node's first output. *)
+
+  val max_delay_assigned : t -> float
+  (** Largest delay the [delay] function returned during the run — finite
+      evidence that the execution was semi-synchronous. *)
+
+  val messages_in_flight : t -> int
+  (** Deliveries scheduled after [now] — nonzero when nodes decided before
+      hearing everything (the asynchronous construction). *)
+end

@@ -1,0 +1,85 @@
+open Ubpa_util
+open Unknown_ba
+
+module C = Consensus.Make (Value.Int)
+module Sim = Event_sim.Make (C)
+
+type verdict = {
+  outputs_a : int list;
+  outputs_b : int list;
+  disagreement : bool;
+  decision_time_a : float;
+  decision_time_b : float;
+  max_delay : float;
+  undelivered_at_decision : bool;
+}
+
+let build ~seed ~size_a ~size_b ~cross_delay =
+  let ids = Node_id.scatter ~seed (size_a + size_b) in
+  let group_a = List.filteri (fun i _ -> i < size_a) ids in
+  let group_b = List.filteri (fun i _ -> i >= size_a) ids in
+  let in_a id = List.exists (Node_id.equal id) group_a in
+  let delay ~src ~dst ~at:_ =
+    if in_a src = in_a dst then 0.9 else cross_delay
+  in
+  let nodes =
+    List.map (fun id -> (id, 1)) group_a
+    @ List.map (fun id -> (id, 0)) group_b
+  in
+  let sim = Sim.create ~delay ~nodes () in
+  (sim, group_a, group_b)
+
+let verdict_of sim ~group_a ~group_b =
+  let outputs group =
+    List.filter_map
+      (fun id ->
+        match List.assoc_opt id (Sim.outputs sim) with
+        | Some (Some v) -> Some v
+        | _ -> None)
+      group
+  in
+  let decision_time group =
+    List.fold_left
+      (fun acc id ->
+        match Sim.decided_at sim id with
+        | Some t -> Float.max acc t
+        | None -> acc)
+      0. group
+  in
+  let outputs_a = outputs group_a and outputs_b = outputs group_b in
+  let disagreement =
+    List.exists (fun a -> List.exists (fun b -> a <> b) outputs_b) outputs_a
+  in
+  {
+    outputs_a;
+    outputs_b;
+    disagreement;
+    decision_time_a = decision_time group_a;
+    decision_time_b = decision_time group_b;
+    max_delay = Sim.max_delay_assigned sim;
+    undelivered_at_decision = Sim.messages_in_flight sim > 0;
+  }
+
+let asynchronous ?(seed = 51L) ~size_a ~size_b () =
+  (* "Unbounded": beyond any horizon the run will reach. *)
+  let cross_delay = 1e12 in
+  let sim, group_a, group_b = build ~seed ~size_a ~size_b ~cross_delay in
+  Sim.run ~until:1e6 sim;
+  verdict_of sim ~group_a ~group_b
+
+let semi_synchronous ?(seed = 52L) ~size_a ~size_b ~delta () =
+  let sim, group_a, group_b = build ~seed ~size_a ~size_b ~cross_delay:delta in
+  (* Run far past [delta] so that, if the partitions failed to decide in
+     isolation, the mixed system still runs to a decision and the premise
+     check below fires. *)
+  Sim.run ~until:(delta +. 100.) sim;
+  let v = verdict_of sim ~group_a ~group_b in
+  if
+    v.outputs_a = [] || v.outputs_b = []
+    || v.decision_time_a >= delta
+    || v.decision_time_b >= delta
+  then
+    invalid_arg
+      "Partition.semi_synchronous: delta must exceed both groups' decision \
+       times (the lemma's requirement)";
+  v

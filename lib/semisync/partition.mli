@@ -1,0 +1,40 @@
+(** The impossibility constructions of Section "Synchrony is Necessary".
+
+    Both lemmas are proved by exhibiting an execution in which two groups of
+    correct nodes — [A] with input 1 and [B] with input 0, neither knowing
+    [n] or [f] — each behave exactly as if the other group did not exist,
+    decide their own input, and thereby disagree.
+
+    {!asynchronous} realizes the first lemma: cross-partition messages are
+    delayed beyond any time the nodes are willing to wait (unbounded
+    delays), so each side runs to completion as a self-contained system.
+
+    {!semi_synchronous} realizes the second lemma: every message delay is
+    bounded by a {e finite} [delta] — the execution is legal in the
+    semi-synchronous model — but [delta] exceeds the groups' decision times
+    [T_a], [T_b], which the nodes cannot know without knowing [n]. *)
+
+type verdict = {
+  outputs_a : int list;  (** decisions in partition A (all inputs were 1) *)
+  outputs_b : int list;  (** decisions in partition B (all inputs were 0) *)
+  disagreement : bool;
+  decision_time_a : float;  (** latest decision time in A *)
+  decision_time_b : float;
+  max_delay : float;
+      (** largest delay assigned; finite in both constructions, and bounded
+          by [delta] in the semi-synchronous one *)
+  undelivered_at_decision : bool;
+      (** some messages were still in flight when the last node decided —
+          the hallmark of the construction *)
+}
+
+val asynchronous : ?seed:int64 -> size_a:int -> size_b:int -> unit -> verdict
+(** Partitioned run of the paper's own consensus algorithm with unbounded
+    (here: astronomically large but finite, which is indistinguishable)
+    cross delays. *)
+
+val semi_synchronous :
+  ?seed:int64 -> size_a:int -> size_b:int -> delta:float -> unit -> verdict
+(** Same construction with every delay bounded by [delta]. The function
+    raises [Invalid_argument] if [delta] is too small to outlast the
+    groups' decisions (the lemma requires [Δ_s > max (T_a, T_b)]). *)

@@ -1,0 +1,20 @@
+(** Message envelopes.
+
+    The simulator authenticates the [src] field: a Byzantine node cannot put
+    another node's identifier there (matching the model: "a Byzantine node
+    cannot forge its identifier when communicating directly"). Whatever lies
+    a Byzantine node tells live in the [payload]. *)
+
+open Ubpa_util
+
+type dest =
+  | Broadcast  (** Deliver to every node present next round, sender included. *)
+  | To of Node_id.t  (** Point-to-point. *)
+
+type 'm t = { src : Node_id.t; dst : dest; payload : 'm }
+
+val broadcast : src:Node_id.t -> 'm -> 'm t
+val send : src:Node_id.t -> dst:Node_id.t -> 'm -> 'm t
+
+val pp :
+  'm Fmt.t -> Format.formatter -> 'm t -> unit

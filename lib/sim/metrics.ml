@@ -1,0 +1,47 @@
+type t = {
+  mutable rounds : int;
+  mutable sends_correct : int;
+  mutable sends_byzantine : int;
+  mutable delivered : int;
+  mutable per_round : (int * int) list; (* reversed *)
+  by_kind : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    rounds = 0;
+    sends_correct = 0;
+    sends_byzantine = 0;
+    delivered = 0;
+    per_round = [];
+    by_kind = Hashtbl.create 8;
+  }
+
+let rounds t = t.rounds
+let sends_correct t = t.sends_correct
+let sends_byzantine t = t.sends_byzantine
+let delivered t = t.delivered
+let delivered_per_round t = List.rev t.per_round
+let tick_round t = t.rounds <- t.rounds + 1
+
+let record_send t ~byzantine =
+  if byzantine then t.sends_byzantine <- t.sends_byzantine + 1
+  else t.sends_correct <- t.sends_correct + 1
+
+let record_kind t kind =
+  Hashtbl.replace t.by_kind kind
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_kind kind))
+
+let kinds t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_kind []
+  |> List.sort compare
+
+let record_delivered t ~round n =
+  t.delivered <- t.delivered + n;
+  match t.per_round with
+  | (r, c) :: rest when r = round -> t.per_round <- (r, c + n) :: rest
+  | _ -> t.per_round <- (round, n) :: t.per_round
+
+let pp ppf t =
+  Format.fprintf ppf "rounds=%d sends(correct=%d byz=%d) delivered=%d"
+    t.rounds t.sends_correct t.sends_byzantine t.delivered

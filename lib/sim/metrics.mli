@@ -1,0 +1,29 @@
+(** Run metrics: rounds executed and message complexity.
+
+    Messages are counted in two ways: [sends] counts send operations (one
+    per broadcast instruction), [delivered] counts point-to-point deliveries
+    (a broadcast to [k] present nodes contributes [k]). Message-complexity
+    tables use [delivered], matching the convention of the classic papers. *)
+
+type t
+
+val create : unit -> t
+val rounds : t -> int
+val sends_correct : t -> int
+val sends_byzantine : t -> int
+val delivered : t -> int
+val delivered_per_round : t -> (int * int) list
+(** [(round, delivered-in-that-round)] rows, ascending. *)
+
+val kinds : t -> (string * int) list
+(** Per-message-kind send counts, sorted by kind; populated only when the
+    engine was created with a [classify] function. *)
+
+(** Engine-side recording. *)
+
+val tick_round : t -> unit
+val record_send : t -> byzantine:bool -> unit
+val record_kind : t -> string -> unit
+val record_delivered : t -> round:int -> int -> unit
+
+val pp : Format.formatter -> t -> unit

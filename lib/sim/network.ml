@@ -1,0 +1,297 @@
+open Ubpa_util
+
+module Make (P : Protocol.S) = struct
+  type node_report = {
+    id : Node_id.t;
+    joined_at : int;
+    first_output_round : int option;
+    last_output : P.output option;
+    halted_at : int option;
+  }
+
+  type correct_node = {
+    c_id : Node_id.t;
+    c_joined_at : int;
+    mutable c_state : P.state;
+    mutable c_first_output_round : int option;
+    mutable c_last_output : P.output option;
+    mutable c_halted_at : int option;
+  }
+
+  type byz_node = {
+    b_id : Node_id.t;
+    b_act : P.message Strategy.view -> (Envelope.dest * P.message) list;
+  }
+
+  type pending_join =
+    | Join_correct of Node_id.t * P.input
+    | Join_byzantine of Node_id.t * P.message Strategy.t
+
+  type t = {
+    rushing : bool;
+    rng : Rng.t;
+    tr : Trace.t;
+    classify : (P.message -> string) option;
+    stimulus : round:int -> Node_id.t -> P.stimulus list;
+    metrics : Metrics.t;
+    mutable round : int;
+    mutable correct : correct_node Node_id.Map.t;
+    mutable byzantine : byz_node Node_id.Map.t;
+    mutable queued_joins : pending_join list; (* reversed *)
+    mutable queued_removals : Node_id.Set.t;
+    mutable pending : P.message Envelope.t list; (* sent last round, reversed *)
+  }
+
+  let no_stimulus ~round:_ _ = []
+
+  let create ?(rushing = true) ?(seed = 0xbadc0ffeeL) ?(trace = Trace.disabled)
+      ?classify ?(stimulus = no_stimulus) ~correct ~byzantine () =
+    let t =
+      {
+        rushing;
+        rng = Rng.create seed;
+        tr = trace;
+        classify;
+        stimulus;
+        metrics = Metrics.create ();
+        round = 0;
+        correct = Node_id.Map.empty;
+        byzantine = Node_id.Map.empty;
+        queued_joins = [];
+        queued_removals = Node_id.Set.empty;
+        pending = [];
+      }
+    in
+    let ids = List.map fst correct @ List.map fst byzantine in
+    if List.length (Node_id.sorted ids) <> List.length ids then
+      invalid_arg "Network.create: duplicate node identifiers";
+    t.queued_joins <-
+      List.rev_map (fun (id, input) -> Join_correct (id, input)) correct
+      @ List.rev_map (fun (id, s) -> Join_byzantine (id, s)) byzantine;
+    t
+
+  let join_correct t id input =
+    t.queued_joins <- Join_correct (id, input) :: t.queued_joins
+
+  let join_byzantine t id strat =
+    t.queued_joins <- Join_byzantine (id, strat) :: t.queued_joins
+
+  let remove_byzantine t id =
+    t.queued_removals <- Node_id.Set.add id t.queued_removals
+
+  let apply_membership t =
+    List.iter
+      (function
+        | Join_correct (id, input) ->
+            if Node_id.Map.mem id t.correct || Node_id.Map.mem id t.byzantine
+            then invalid_arg "Network: joining identifier already present";
+            Trace.recordf t.tr ~round:t.round ~node:id "join (correct)";
+            t.correct <-
+              Node_id.Map.add id
+                {
+                  c_id = id;
+                  c_joined_at = t.round;
+                  c_state = P.init ~self:id ~round:t.round input;
+                  c_first_output_round = None;
+                  c_last_output = None;
+                  c_halted_at = None;
+                }
+                t.correct
+        | Join_byzantine (id, strat) ->
+            if Node_id.Map.mem id t.correct || Node_id.Map.mem id t.byzantine
+            then invalid_arg "Network: joining identifier already present";
+            Trace.recordf t.tr ~round:t.round ~node:id "join (byzantine %s)"
+              (Strategy.name strat);
+            let act = Strategy.instantiate strat (Rng.split t.rng) id in
+            t.byzantine <- Node_id.Map.add id { b_id = id; b_act = act } t.byzantine)
+      (List.rev t.queued_joins);
+    t.queued_joins <- [];
+    Node_id.Set.iter
+      (fun id ->
+        Trace.recordf t.tr ~round:t.round ~node:id "leave (byzantine)";
+        t.byzantine <- Node_id.Map.remove id t.byzantine)
+      t.queued_removals;
+    t.queued_removals <- Node_id.Set.empty
+
+  let active_correct_nodes t =
+    Node_id.Map.fold
+      (fun _ n acc -> if n.c_halted_at = None then n :: acc else acc)
+      t.correct []
+    |> List.rev (* fold yields descending; reverse to ascending id order *)
+
+  let active_correct t = List.map (fun n -> n.c_id) (active_correct_nodes t)
+
+  let correct_ids t = Node_id.Map.fold (fun id _ acc -> id :: acc) t.correct [] |> List.rev
+
+  let byzantine_ids t =
+    Node_id.Map.fold (fun id _ acc -> id :: acc) t.byzantine [] |> List.rev
+
+  (* Deliver pending envelopes to the nodes present this round. Returns a map
+     from recipient to its inbox sorted by sender id. Duplicate
+     (sender, payload) pairs for the same recipient are dropped. *)
+  let deliver t ~present =
+    let inboxes : (Node_id.t * P.message) list ref Node_id.Map.t =
+      Node_id.Set.fold
+        (fun id acc -> Node_id.Map.add id (ref []) acc)
+        present Node_id.Map.empty
+    in
+    let delivered = ref 0 in
+    let push recipient (env : P.message Envelope.t) =
+      match Node_id.Map.find_opt recipient inboxes with
+      | None -> ()
+      | Some box ->
+          let dup =
+            List.exists
+              (fun (src, payload) ->
+                Node_id.equal src env.src && payload = env.payload)
+              !box
+          in
+          if not dup then begin
+            box := (env.src, env.payload) :: !box;
+            incr delivered
+          end
+    in
+    List.iter
+      (fun (env : P.message Envelope.t) ->
+        match env.dst with
+        | Envelope.To id -> push id env
+        | Envelope.Broadcast -> Node_id.Set.iter (fun id -> push id env) present)
+      (List.rev t.pending);
+    Metrics.record_delivered t.metrics ~round:t.round !delivered;
+    Node_id.Map.map
+      (fun box ->
+        List.sort (fun (a, _) (b, _) -> Node_id.compare a b) (List.rev !box))
+      inboxes
+
+  let step_round t =
+    t.round <- t.round + 1;
+    Metrics.tick_round t.metrics;
+    apply_membership t;
+    let present =
+      Node_id.Set.union
+        (Node_id.Set.of_list (active_correct t))
+        (Node_id.Set.of_list (byzantine_ids t))
+    in
+    let inboxes = deliver t ~present in
+    let inbox_of id =
+      match Node_id.Map.find_opt id inboxes with Some l -> l | None -> []
+    in
+    (* Correct nodes first (their sends feed the rushing adversary). *)
+    let correct_sends = ref [] in
+    List.iter
+      (fun n ->
+        let stim = t.stimulus ~round:t.round n.c_id in
+        let state, sends, status =
+          P.step ~self:n.c_id ~round:t.round ~stim n.c_state
+            ~inbox:(inbox_of n.c_id)
+        in
+        n.c_state <- state;
+        List.iter
+          (fun (dst, payload) ->
+            Metrics.record_send t.metrics ~byzantine:false;
+            (match t.classify with
+            | Some f -> Metrics.record_kind t.metrics (f payload)
+            | None -> ());
+            let env = { Envelope.src = n.c_id; dst; payload } in
+            if Trace.enabled t.tr then
+              Trace.recordf t.tr ~round:t.round ~node:n.c_id "send %a"
+                (Envelope.pp P.pp_message) env;
+            correct_sends := env :: !correct_sends)
+          sends;
+        (match status with
+        | Protocol.Continue -> ()
+        | Protocol.Deliver out ->
+            if n.c_first_output_round = None then
+              n.c_first_output_round <- Some t.round;
+            n.c_last_output <- Some out;
+            Trace.recordf t.tr ~round:t.round ~node:n.c_id "output"
+        | Protocol.Stop out ->
+            if n.c_first_output_round = None then
+              n.c_first_output_round <- Some t.round;
+            n.c_last_output <- Some out;
+            n.c_halted_at <- Some t.round;
+            Trace.recordf t.tr ~round:t.round ~node:n.c_id "halt"))
+      (active_correct_nodes t);
+    let rushing_view =
+      if t.rushing then
+        List.rev_map
+          (fun (env : P.message Envelope.t) -> (env.src, env.dst, env.payload))
+          !correct_sends
+      else []
+    in
+    let correct_now = active_correct t in
+    let byz_now = byzantine_ids t in
+    let byz_sends = ref [] in
+    Node_id.Map.iter
+      (fun _ b ->
+        let view =
+          {
+            Strategy.round = t.round;
+            self = b.b_id;
+            correct = correct_now;
+            byzantine = byz_now;
+            inbox = inbox_of b.b_id;
+            rushing = rushing_view;
+          }
+        in
+        List.iter
+          (fun (dst, payload) ->
+            Metrics.record_send t.metrics ~byzantine:true;
+            let env = { Envelope.src = b.b_id; dst; payload } in
+            if Trace.enabled t.tr then
+              Trace.recordf t.tr ~round:t.round ~node:b.b_id "byz-send %a"
+                (Envelope.pp P.pp_message) env;
+            byz_sends := env :: !byz_sends)
+          (b.b_act view))
+      t.byzantine;
+    t.pending <- !byz_sends @ !correct_sends
+
+  let all_halted t =
+    Node_id.Map.for_all (fun _ n -> n.c_halted_at <> None) t.correct
+    && t.queued_joins = []
+
+  let run ?(max_rounds = 10_000) t =
+    let rec go () =
+      if all_halted t then `All_halted
+      else if t.round >= max_rounds then `Max_rounds_reached
+      else begin
+        step_round t;
+        go ()
+      end
+    in
+    go ()
+
+  let run_until ?(max_rounds = 10_000) t ~stop =
+    let rec go () =
+      if stop t then `Stopped
+      else if t.round >= max_rounds then `Max_rounds_reached
+      else begin
+        step_round t;
+        go ()
+      end
+    in
+    go ()
+
+  let round t = t.round
+  let metrics t = t.metrics
+  let trace t = t.tr
+
+  let report t id =
+    match Node_id.Map.find_opt id t.correct with
+    | None -> raise Not_found
+    | Some n ->
+        {
+          id = n.c_id;
+          joined_at = n.c_joined_at;
+          first_output_round = n.c_first_output_round;
+          last_output = n.c_last_output;
+          halted_at = n.c_halted_at;
+        }
+
+  let reports t = List.map (report t) (correct_ids t)
+
+  let outputs t =
+    List.filter_map
+      (fun r -> Option.map (fun o -> (r.id, o)) r.last_output)
+      (reports t)
+end

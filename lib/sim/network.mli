@@ -1,0 +1,92 @@
+(** Synchronous round-based network engine.
+
+    The engine realizes the paper's model: computation proceeds in rounds;
+    messages sent in round [r] are delivered in round [r+1]; broadcasts reach
+    every node present at delivery time (sender included); senders are
+    authenticated; per-round duplicate (sender, payload) pairs are dropped.
+
+    Membership may change between rounds ({!join_correct},
+    {!join_byzantine}, {!remove_byzantine}, and protocol-driven halts), which
+    is how the dynamic-network experiments of the paper are driven. A purely
+    static run is simply one where everybody joins before round 1.
+
+    Byzantine nodes are driven by {!Strategy.t} values. By default the
+    adversary is {e rushing}: in each round it sees the messages correct
+    nodes send in that very round before choosing its own. *)
+
+open Ubpa_util
+
+module Make (P : Protocol.S) : sig
+  type t
+
+  type node_report = {
+    id : Node_id.t;
+    joined_at : int;
+    first_output_round : int option;
+        (** Round of the first [Deliver]/[Stop]. *)
+    last_output : P.output option;
+    halted_at : int option;
+  }
+
+  val create :
+    ?rushing:bool ->
+    ?seed:int64 ->
+    ?trace:Trace.t ->
+    ?classify:(P.message -> string) ->
+    ?stimulus:(round:int -> Node_id.t -> P.stimulus list) ->
+    correct:(Node_id.t * P.input) list ->
+    byzantine:(Node_id.t * P.message Strategy.t) list ->
+    unit ->
+    t
+  (** All listed nodes join in round 1. Identifiers must be distinct across
+      both lists. *)
+
+  (** {2 Dynamic membership} *)
+
+  val join_correct : t -> Node_id.t -> P.input -> unit
+  (** The node participates from the next executed round on. *)
+
+  val join_byzantine : t -> Node_id.t -> P.message Strategy.t -> unit
+
+  val remove_byzantine : t -> Node_id.t -> unit
+  (** The adversary withdraws a faulty node before the next round. *)
+
+  (** {2 Execution} *)
+
+  val step_round : t -> unit
+  (** Execute one synchronous round. *)
+
+  val run : ?max_rounds:int -> t -> [ `All_halted | `Max_rounds_reached ]
+  (** Step until every correct node halted. [max_rounds] (default 10_000)
+      bounds non-terminating protocols. *)
+
+  val run_until : ?max_rounds:int -> t -> stop:(t -> bool) -> [ `Stopped | `Max_rounds_reached ]
+  (** Step until [stop] holds (checked after each round). *)
+
+  (** {2 Observation} *)
+
+  val round : t -> int
+  (** Rounds executed so far (0 before the first {!step_round}). *)
+
+  val metrics : t -> Metrics.t
+  val trace : t -> Trace.t
+
+  val correct_ids : t -> Node_id.t list
+  (** Every correct node that ever joined, ascending. *)
+
+  val active_correct : t -> Node_id.t list
+  (** Correct nodes present and not halted, ascending. *)
+
+  val byzantine_ids : t -> Node_id.t list
+
+  val report : t -> Node_id.t -> node_report
+  (** Raises [Not_found] for unknown ids. *)
+
+  val reports : t -> node_report list
+  (** One report per correct node, ascending id. *)
+
+  val outputs : t -> (Node_id.t * P.output) list
+  (** Correct nodes that produced an output, with their latest output. *)
+
+  val all_halted : t -> bool
+end

@@ -1,0 +1,52 @@
+(** Protocol interface for correct nodes.
+
+    A protocol is a deterministic state machine driven once per synchronous
+    round. Messages handed to [step] at round [r] are exactly those sent in
+    round [r - 1] (with per-round duplicates from the same sender removed).
+    Messages must be pure, structurally comparable data — the engine and the
+    tallies rely on polymorphic comparison. *)
+
+open Ubpa_util
+
+type 'o status =
+  | Continue  (** Keep running, no new output. *)
+  | Deliver of 'o
+      (** Produce an output but keep participating (e.g. reliable-broadcast
+          accept, total-order chain snapshots). The engine remembers the
+          latest delivered output and the round of the first one. *)
+  | Stop of 'o  (** Final output; the node halts and leaves the network. *)
+
+module type S = sig
+  type input
+  (** Per-node input handed over at initialization. *)
+
+  type stimulus
+  (** External per-round stimulus (events witnessed, leave requests, ...).
+      Use {!No_stimulus.t} when the protocol has none. *)
+
+  type output
+  type message
+  type state
+
+  val name : string
+
+  val init : self:Node_id.t -> round:int -> input -> state
+  (** Called when the node enters the network; its first [step] happens in
+      the same [round] with an empty inbox. *)
+
+  val step :
+    self:Node_id.t ->
+    round:int ->
+    stim:stimulus list ->
+    state ->
+    inbox:(Node_id.t * message) list ->
+    state * (Envelope.dest * message) list * output status
+
+  val pp_message : message Fmt.t
+end
+
+module No_stimulus = struct
+  type t = |
+
+  let none : t list = []
+end

@@ -1,0 +1,28 @@
+open Ubpa_util
+
+type 'm view = {
+  round : int;
+  self : Node_id.t;
+  correct : Node_id.t list;
+  byzantine : Node_id.t list;
+  inbox : (Node_id.t * 'm) list;
+  rushing : (Node_id.t * Envelope.dest * 'm) list;
+}
+
+type 'm t = {
+  name : string;
+  make : Rng.t -> Node_id.t -> 'm view -> (Envelope.dest * 'm) list;
+}
+
+let v ~name make = { name; make }
+
+let stateful ~name ~init ~act =
+  let make rng self =
+    let state = init rng self in
+    fun view -> act state view
+  in
+  { name; make }
+
+let name t = t.name
+let instantiate t rng self = t.make rng self
+let silent = { name = "silent"; make = (fun _ _ _ -> []) }

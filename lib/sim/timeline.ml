@@ -1,0 +1,126 @@
+open Ubpa_util
+
+type cell = {
+  mutable joined : bool;
+  mutable sends : int;
+  mutable byz_sends : int;
+  mutable output : bool;
+  mutable halted : bool;
+}
+
+type t = {
+  max_round : int;
+  cells : (Node_id.t * (int, cell) Hashtbl.t) list;  (** ascending node id *)
+}
+
+let fresh_cell () =
+  { joined = false; sends = 0; byz_sends = 0; output = false; halted = false }
+
+let classify what =
+  let starts_with prefix =
+    String.length what >= String.length prefix
+    && String.sub what 0 (String.length prefix) = prefix
+  in
+  if starts_with "join" then `Join
+  else if starts_with "byz-send" then `Byz_send
+  else if starts_with "send" then `Send
+  else if what = "output" then `Output
+  else if what = "halt" then `Halt
+  else `Other
+
+let of_trace trace =
+  let by_node : (Node_id.t, (int, cell) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let max_round = ref 0 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.node with
+      | None -> ()
+      | Some node ->
+          if e.round > !max_round then max_round := e.round;
+          let rows =
+            match Hashtbl.find_opt by_node node with
+            | Some rows -> rows
+            | None ->
+                let rows = Hashtbl.create 16 in
+                Hashtbl.add by_node node rows;
+                rows
+          in
+          let cell =
+            match Hashtbl.find_opt rows e.round with
+            | Some c -> c
+            | None ->
+                let c = fresh_cell () in
+                Hashtbl.add rows e.round c;
+                c
+          in
+          (match classify e.what with
+          | `Join -> cell.joined <- true
+          | `Send -> cell.sends <- cell.sends + 1
+          | `Byz_send -> cell.byz_sends <- cell.byz_sends + 1
+          | `Output -> cell.output <- true
+          | `Halt -> cell.halted <- true
+          | `Other -> ()))
+    (Trace.events trace);
+  let cells =
+    Hashtbl.fold (fun node rows acc -> (node, rows) :: acc) by_node []
+    |> List.sort (fun (a, _) (b, _) -> Node_id.compare a b)
+  in
+  { max_round = !max_round; cells }
+
+let rounds t = t.max_round
+let nodes t = List.map fst t.cells
+
+let render_cell cell =
+  match cell with
+  | None -> "."
+  | Some c ->
+      let marks =
+        (if c.joined then "J" else "")
+        ^ (if c.sends > 0 then Printf.sprintf "+%d" c.sends else "")
+        ^ (if c.byz_sends > 0 then Printf.sprintf "!%d" c.byz_sends else "")
+        ^ (if c.halted then "D" else if c.output then "o" else "")
+      in
+      if marks = "" then "." else marks
+
+let to_string ?(max_rounds = 40) t =
+  if t.cells = [] then "(empty timeline)\n"
+  else begin
+    let shown = min t.max_round max_rounds in
+    let truncated = t.max_round > shown in
+    let header =
+      "node"
+      :: (List.init shown (fun i -> Printf.sprintf "r%03d" (i + 1))
+         @ if truncated then [ "..." ] else [])
+    in
+    let rows =
+      List.map
+        (fun (node, cells) ->
+          Fmt.str "%a" Node_id.pp node
+          :: (List.init shown (fun i -> render_cell (Hashtbl.find_opt cells (i + 1)))
+             @ if truncated then [ "..." ] else []))
+        t.cells
+    in
+    let all = header :: rows in
+    let ncols = List.length header in
+    let widths = Array.make ncols 0 in
+    List.iter
+      (List.iteri (fun i s -> widths.(i) <- max widths.(i) (String.length s)))
+      all;
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun row ->
+        List.iteri
+          (fun i s ->
+            Buffer.add_string buf s;
+            if i < ncols - 1 then
+              Buffer.add_string buf
+                (String.make (widths.(i) - String.length s + 2) ' '))
+          row;
+        Buffer.add_char buf '\n')
+      all;
+    Buffer.contents buf
+  end
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

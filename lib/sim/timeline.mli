@@ -1,0 +1,30 @@
+(** ASCII round timelines from execution traces.
+
+    Turns a {!Trace.t} into a per-node, per-round activity matrix — joins,
+    sends, outputs, halts — so protocol executions can be eyeballed:
+
+    {v
+    node         r001 r002 r003 r004 r005
+    #151149761   J+1  +4   +1   .    D
+    #630123623   J+1  +4   +1   .    D
+    v}
+
+    Legend: [J] joined, [+k] sent k messages, [D] decided/halted, [o]
+    produced an output, [.] idle. Byzantine sends are bracketed ([!k]). *)
+
+open Ubpa_util
+
+type t
+
+val of_trace : Trace.t -> t
+(** Builds the matrix from the events the engine recorded. Traces created
+    with tracing disabled yield an empty timeline. *)
+
+val rounds : t -> int
+val nodes : t -> Node_id.t list
+
+val to_string : ?max_rounds:int -> t -> string
+(** Render; [max_rounds] (default 40) truncates wide executions with an
+    ellipsis column. *)
+
+val pp : Format.formatter -> t -> unit

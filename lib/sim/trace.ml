@@ -1,0 +1,29 @@
+open Ubpa_util
+
+type event = { round : int; node : Node_id.t option; what : string }
+type t = { enabled : bool; live : bool; mutable events : event list }
+
+let create ?(live = false) () = { enabled = true; live; events = [] }
+let disabled = { enabled = false; live = false; events = [] }
+
+let pp_event ppf e =
+  let pp_node ppf = function
+    | None -> Fmt.string ppf "engine"
+    | Some id -> Node_id.pp ppf id
+  in
+  Fmt.pf ppf "[r%03d %a] %s" e.round pp_node e.node e.what
+
+let record t ~round ?node what =
+  if t.enabled then begin
+    let e = { round; node; what } in
+    t.events <- e :: t.events;
+    if t.live then Fmt.epr "%a@." pp_event e
+  end
+
+let recordf t ~round ?node fmt =
+  Format.kasprintf (fun s -> record t ~round ?node s) fmt
+
+let enabled t = t.enabled
+let events t = List.rev t.events
+let find t ~f = List.find_opt f (events t)
+let pp ppf t = Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.cut pp_event) (events t)

@@ -1,0 +1,34 @@
+(** Structured execution traces.
+
+    A trace records engine events (joins, sends, deliveries, decisions) so
+    tests and the CLI can inspect or pretty-print what happened. Disabled
+    traces are free. *)
+
+open Ubpa_util
+
+type event = {
+  round : int;
+  node : Node_id.t option;  (** [None] for engine-level events. *)
+  what : string;
+}
+
+type t
+
+val create : ?live:bool -> unit -> t
+(** [live] additionally prints each event as it is recorded. *)
+
+val disabled : t
+(** A shared sink that records nothing. *)
+
+val record : t -> round:int -> ?node:Node_id.t -> string -> unit
+val recordf :
+  t -> round:int -> ?node:Node_id.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val enabled : t -> bool
+(** False only for {!disabled}; lets hot paths skip formatting. *)
+
+val events : t -> event list
+(** In order of recording. *)
+
+val find : t -> f:(event -> bool) -> event option
+val pp : Format.formatter -> t -> unit

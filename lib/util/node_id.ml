@@ -1,0 +1,42 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let of_int i = i
+let to_int t = t
+let pp ppf t = Format.fprintf ppf "#%d" t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let sorted ids = Set.elements (Set.of_list ids)
+
+(* splitmix64 step; good enough dispersion for scattering ids. *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let scatter ~seed k =
+  (* Draw from a 30-bit space to keep ids readable; reject collisions and
+     adjacent values so the result is guaranteed non-consecutive. *)
+  let rec draw state acc taken remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let state = Int64.add state 0x9e3779b97f4a7c15L in
+      let v = Int64.to_int (Int64.logand (mix state) 0x3FFFFFFFL) in
+      let clash =
+        Set.mem v taken || Set.mem (v + 1) taken || (v > 0 && Set.mem (v - 1) taken)
+      in
+      if clash then draw state acc taken remaining
+      else draw state (v :: acc) (Set.add v taken) (remaining - 1)
+  in
+  draw seed [] Set.empty k

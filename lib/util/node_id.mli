@@ -1,0 +1,34 @@
+(** Node identifiers.
+
+    The id-only model gives every node a unique identifier that is {e not}
+    necessarily consecutive — nodes cannot derive the network size from the
+    identifier space. This module generates deterministic, well-spread,
+    non-consecutive identifiers so that no algorithm can accidentally rely
+    on density of the id space. *)
+
+type t
+(** An opaque node identifier. Totally ordered. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val of_int : int -> t
+(** [of_int i] builds an identifier from a raw integer. Raw values are used
+    by tests that need precise control over ordering; real deployments use
+    {!scatter}. *)
+
+val to_int : t -> int
+
+val scatter : seed:int64 -> int -> t list
+(** [scatter ~seed k] returns [k] distinct, pseudo-random, non-consecutive
+    identifiers. Deterministic in [seed]. The identifiers are spread over a
+    large space so that their ranks reveal nothing about [k]. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val sorted : t list -> t list
+(** Sort ascending and remove duplicates. *)

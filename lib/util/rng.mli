@@ -1,0 +1,30 @@
+(** Deterministic, splittable pseudo-random number generator (splitmix64).
+
+    Every simulation is reproducible from a single integer seed; adversary
+    strategies and workload generators take a split of the root generator so
+    adding a new consumer never perturbs the stream of an existing one. *)
+
+type t
+
+val create : int64 -> t
+(** Fresh generator from a seed. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns an independent generator. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. Raises [Invalid_argument] on []. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates shuffle. *)

@@ -1,0 +1,54 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row (%s): expected %d cells, got %d" t.title
+         (List.length t.columns) (List.length row));
+  t.rows <- row :: t.rows
+
+let add_rowf t fmt =
+  Printf.ksprintf
+    (fun s -> add_row t (String.split_on_char '|' s |> List.map String.trim))
+    fmt
+
+let widths t =
+  let all = t.columns :: List.rev t.rows in
+  let ncols = List.length t.columns in
+  let w = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row)
+    all;
+  w
+
+let print t =
+  let w = widths t in
+  let pad i s = s ^ String.make (w.(i) - String.length s) ' ' in
+  let line row =
+    String.concat "  " (List.mapi pad row) |> String.trim |> print_endline
+  in
+  print_endline "";
+  Printf.printf "== %s ==\n" t.title;
+  line t.columns;
+  line (Array.to_list (Array.map (fun n -> String.make n '-') w));
+  List.iter line (List.rev t.rows)
+
+let quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let row r = String.concat "," (List.map quote r) in
+  String.concat "\n" (row t.columns :: List.map row (List.rev t.rows)) ^ "\n"
+
+let cell_int = string_of_int
+let cell_float ?(digits = 2) f = Printf.sprintf "%.*f" digits f
+let cell_bool b = if b then "yes" else "no"

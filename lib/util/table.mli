@@ -1,0 +1,23 @@
+(** Aligned text tables and CSV export for the experiment harness. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a caption and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [add_rowf t fmt ...] formats a single string and splits it on ['|'] into
+    cells — convenient for numeric rows. *)
+
+val print : t -> unit
+(** Render with aligned columns on stdout. *)
+
+val to_csv : t -> string
+(** CSV rendering (header row included). *)
+
+val cell_int : int -> string
+val cell_float : ?digits:int -> float -> string
+val cell_bool : bool -> string

@@ -1,0 +1,36 @@
+type ('k, 'v) t = {
+  compare : 'k -> 'k -> int;
+  mutable entries : ('k * Node_id.Set.t ref) list;
+}
+
+let create ~compare () = { compare; entries = [] }
+
+let find t k = List.find_opt (fun (k', _) -> t.compare k k' = 0) t.entries
+
+let add t ~sender k =
+  match find t k with
+  | Some (_, senders) -> senders := Node_id.Set.add sender !senders
+  | None -> t.entries <- (k, ref (Node_id.Set.singleton sender)) :: t.entries
+
+let count t k =
+  match find t k with Some (_, s) -> Node_id.Set.cardinal !s | None -> 0
+
+let senders t k =
+  match find t k with Some (_, s) -> Node_id.Set.elements !s | None -> []
+
+let contents t = List.map fst t.entries
+
+let max_by_count t =
+  let best acc (k, s) =
+    let c = Node_id.Set.cardinal !s in
+    match acc with
+    | None -> Some (k, c)
+    | Some (k', c') ->
+        if c > c' || (c = c' && t.compare k k' < 0) then Some (k, c) else acc
+  in
+  List.fold_left best None t.entries
+
+let meeting t ~threshold =
+  List.filter_map
+    (fun (k, s) -> if threshold (Node_id.Set.cardinal !s) then Some k else None)
+    t.entries

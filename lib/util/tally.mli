@@ -1,0 +1,31 @@
+(** Per-round tallies of who sent what.
+
+    Algorithms in the id-only model repeatedly ask "how many distinct nodes
+    sent me message [m] this round?". A tally ingests the round's inbox and
+    answers per-content counts while suppressing duplicate (sender, content)
+    pairs, as the model prescribes. *)
+
+type ('k, 'v) t
+(** A tally keyed by message content ['k]; remembers the set of senders. *)
+
+val create : compare:('k -> 'k -> int) -> unit -> ('k, 'v) t
+
+val add : ('k, 'v) t -> sender:Node_id.t -> 'k -> unit
+(** Record that [sender] sent content [k]. Duplicate (sender, content)
+    pairs are ignored. *)
+
+val count : ('k, 'v) t -> 'k -> int
+(** Number of distinct senders that sent [k]. *)
+
+val senders : ('k, 'v) t -> 'k -> Node_id.t list
+(** The distinct senders of [k], unordered. *)
+
+val contents : ('k, 'v) t -> 'k list
+(** All contents seen, each once. *)
+
+val max_by_count : ('k, 'v) t -> ('k * int) option
+(** Content with the highest distinct-sender count (ties broken by the
+    content ordering, smallest first), or [None] if the tally is empty. *)
+
+val meeting : ('k, 'v) t -> threshold:(int -> bool) -> 'k list
+(** Contents whose distinct-sender count satisfies [threshold]. *)

@@ -1,0 +1,5 @@
+let ge_third ~count ~of_ = 3 * count >= of_
+let ge_two_thirds ~count ~of_ = 3 * count >= 2 * of_
+let lt_third ~count ~of_ = not (ge_third ~count ~of_)
+let floor_third n = n / 3
+let majority ~count ~of_ = 2 * count > of_

@@ -1,0 +1,22 @@
+(** Exact fractional threshold tests.
+
+    The paper's algorithms compare message counts against [n_v / 3] and
+    [2 n_v / 3] where the division is real-valued ("at least n_v/3"). We
+    avoid floating point entirely: [count >= n/3  <=>  3*count >= n]. *)
+
+val ge_third : count:int -> of_:int -> bool
+(** [ge_third ~count ~of_:n] is [count >= n / 3] over the rationals. *)
+
+val ge_two_thirds : count:int -> of_:int -> bool
+(** [ge_two_thirds ~count ~of_:n] is [count >= 2 n / 3] over the rationals. *)
+
+val lt_third : count:int -> of_:int -> bool
+(** [lt_third ~count ~of_:n] is [count < n / 3] over the rationals;
+    the negation of {!ge_third}. *)
+
+val floor_third : int -> int
+(** [floor_third n] is [⌊n / 3⌋] — the number of extreme values discarded by
+    the approximate-agreement algorithm. *)
+
+val majority : count:int -> of_:int -> bool
+(** [majority ~count ~of_:n] is [count > n / 2] over the rationals. *)

@@ -1,0 +1,19 @@
+(** Shared test plumbing. *)
+
+open Ubpa_util
+
+let node_id = Alcotest.testable Node_id.pp Node_id.equal
+
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_false msg b = Alcotest.(check bool) msg false b
+let check_int msg a b = Alcotest.(check int) msg a b
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+(* Deterministic inputs used all over the tests. *)
+let binary_split i = i mod 2
+let all_same _ = 7
+let ramp i = float_of_int (10 * i)
+
+let qcheck_cases props = List.map QCheck_alcotest.to_alcotest props

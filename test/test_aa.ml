@@ -1,0 +1,181 @@
+open Ubpa_scenarios
+open Helpers
+module A = Scenarios.Aa
+
+let test_within_range_all_correct () =
+  let s = A.run ~n_correct:5 ~inputs:ramp () in
+  check_true "outputs within the correct input range" s.A.within_range
+
+let test_halving () =
+  (* The output range is at most half the input range (proof of the main
+     theorem: outputs live in [(min+med)/2, (med+max)/2]). *)
+  let s = A.run ~n_correct:7 ~inputs:ramp () in
+  check_true "contraction <= 1/2 + eps" (s.A.contraction <= 0.5 +. 1e-9)
+
+let test_pull_apart_attack () =
+  let f = 2 in
+  let s =
+    A.run
+      ~byz:
+        (List.init f (fun _ ->
+             Ubpa_adversary.Aa_attacks.pull_apart ~low:(-1e6) ~high:1e6))
+      ~n_correct:7 ~inputs:ramp ()
+  in
+  check_true "trimming absorbs extremes" s.A.within_range;
+  check_true "still contracting" (s.A.contraction <= 1.0)
+
+let test_outlier_attack () =
+  let s =
+    A.run
+      ~byz:[ Ubpa_adversary.Aa_attacks.outlier 1e9 ]
+      ~n_correct:4 ~inputs:ramp ()
+  in
+  check_true "outlier discarded" s.A.within_range
+
+let test_tracker_attack () =
+  let s =
+    A.run
+      ~byz:[ Ubpa_adversary.Aa_attacks.tracker ~offset:5.0 ]
+      ~n_correct:4 ~inputs:ramp ()
+  in
+  check_true "adaptive tracker absorbed" s.A.within_range
+
+let test_unanimous_inputs_fixed_point () =
+  let s = A.run ~n_correct:5 ~inputs:(fun _ -> 3.25) () in
+  List.iter
+    (fun (_, v) -> Alcotest.(check (float 1e-9)) "stays at 3.25" 3.25 v)
+    s.A.outputs
+
+let test_iterated_convergence () =
+  (* k iterations shrink the range by 2^k. *)
+  let k = 6 in
+  let s = A.run ~iterations:k ~n_correct:7 ~inputs:ramp () in
+  check_true "within" s.A.within_range;
+  let bound = (1. /. (2. ** float_of_int k)) +. 1e-9 in
+  check_true
+    (Printf.sprintf "contraction %.6f <= 2^-%d" s.A.contraction k)
+    (s.A.contraction <= bound)
+
+let test_iterated_under_attack () =
+  let k = 4 in
+  let s =
+    A.run ~iterations:k
+      ~byz:
+        [
+          Ubpa_adversary.Aa_attacks.pull_apart ~low:(-100.) ~high:100.;
+          Ubpa_adversary.Aa_attacks.outlier 999.;
+        ]
+      ~n_correct:7 ~inputs:ramp ()
+  in
+  check_true "within range after iterations under attack" s.A.within_range;
+  check_true "still halving each round" (s.A.contraction <= (0.5 ** float_of_int k) +. 1e-9)
+
+let test_midpoint_rule_unit () =
+  (* Direct unit tests on the reduction. *)
+  Alcotest.(check (option (float 1e-9)))
+    "no discard below 3 values" (Some 1.5)
+    (Unknown_ba.Approx_agreement.midpoint_rule [ 1.; 2. ]);
+  Alcotest.(check (option (float 1e-9)))
+    "discard one extreme each side" (Some 3.0)
+    (Unknown_ba.Approx_agreement.midpoint_rule [ -100.; 2.; 3.; 4.; 100. ]);
+  Alcotest.(check (option (float 1e-9)))
+    "empty" None
+    (Unknown_ba.Approx_agreement.midpoint_rule []);
+  Alcotest.(check (option (float 1e-9)))
+    "single" (Some 5.)
+    (Unknown_ba.Approx_agreement.midpoint_rule [ 5. ])
+
+let test_dynamic_join () =
+  (* A node joining mid-run (Section "Application to Dynamic Networks"):
+     the protocol keeps contracting; new values may widen the range, which
+     the paper explicitly allows. Here we check the join is simply safe. *)
+  let open Ubpa_util in
+  let ids = Scenarios.make_ids ~seed:31L 6 in
+  let genesis = List.filteri (fun i _ -> i < 5) ids in
+  let late = List.nth ids 5 in
+  let correct =
+    List.mapi
+      (fun i id ->
+        (id, { Unknown_ba.Approx_agreement.value = ramp i; iterations = 6 }))
+      genesis
+  in
+  let net = A.Net.create ~correct ~byzantine:[] () in
+  A.Net.step_round net;
+  A.Net.step_round net;
+  A.Net.join_correct net late
+    { Unknown_ba.Approx_agreement.value = 20.0; iterations = 4 };
+  let _ = A.Net.run net in
+  let outputs = A.Net.outputs net in
+  check_int "all six produced outputs" 6 (List.length outputs);
+  List.iter
+    (fun ((_ : Node_id.t), (p : Unknown_ba.Approx_agreement.progress)) ->
+      check_true "estimates stay in the global input range"
+        (p.estimate >= 0.0 && p.estimate <= 40.0))
+    outputs
+
+let test_leave_stimulus () =
+  let open Ubpa_util in
+  let ids = Scenarios.make_ids ~seed:32L 4 in
+  let leaver = List.hd ids in
+  let stimulus ~round id =
+    if round = 3 && Node_id.equal id leaver then
+      [ Unknown_ba.Approx_agreement.Leave ]
+    else []
+  in
+  let correct =
+    List.mapi
+      (fun i id ->
+        (id, { Unknown_ba.Approx_agreement.value = ramp i; iterations = 10 }))
+      ids
+  in
+  let net = A.Net.create ~stimulus ~correct ~byzantine:[] () in
+  let _ = A.Net.run net in
+  let rep = A.Net.report net leaver in
+  check_true "leaver halted early"
+    (match rep.A.Net.halted_at with Some r -> r <= 4 | None -> false)
+
+
+let test_dynamic_runner_halving_and_widening () =
+  (* The scenario behind experiment E5b: under a pull-apart adversary the
+     spread halves round over round; four simultaneous joiners exceed the
+     trimming and widen it; contraction then resumes; and every estimate
+     stays within the range of all inputs ever supplied. *)
+  let s =
+    Scenarios.Aa.run_dynamic ~n_start:7 ~iterations:10
+      ~byz:
+        (List.init 2 (fun _ ->
+             Ubpa_adversary.Aa_attacks.pull_apart ~low:(-1e6) ~high:1e6))
+      ~joins:[ (4, 200.0); (4, 300.0); (4, 400.0); (4, 500.0) ]
+      ~inputs:ramp ()
+  in
+  check_true "final estimates in the global input range"
+    s.Scenarios.Aa.within_global_range;
+  check_int "all four joiners entered" 4
+    (List.length s.Scenarios.Aa.joins_applied);
+  let spread r =
+    List.find_map
+      (fun (r', lo, hi) -> if r' = r then Some (hi -. lo) else None)
+      s.Scenarios.Aa.range_per_round
+    |> Option.get
+  in
+  check_true "halving before the join" (spread 3 <= (spread 2 /. 2.) +. 1e-9);
+  check_true "join widened the spread" (spread 5 > spread 4);
+  check_true "contraction resumed" (spread 7 <= spread 5 /. 2.)
+
+let suite =
+  ( "approximate-agreement",
+    [
+      quick "outputs within the input range" test_within_range_all_correct;
+      quick "output range halves" test_halving;
+      quick "pull-apart equivocation absorbed" test_pull_apart_attack;
+      quick "outlier absorbed" test_outlier_attack;
+      quick "adaptive tracker absorbed" test_tracker_attack;
+      quick "unanimous inputs are a fixed point" test_unanimous_inputs_fixed_point;
+      quick "iterated convergence at rate 2^-k" test_iterated_convergence;
+      quick "iterated convergence under attack" test_iterated_under_attack;
+      quick "midpoint rule unit cases" test_midpoint_rule_unit;
+      quick "dynamic join mid-run" test_dynamic_join;
+      quick "dynamic runner: halving, widening joins, resumed contraction"
+        test_dynamic_runner_halving_and_widening;
+      quick "leave stimulus halts a node" test_leave_stimulus;
+    ] )

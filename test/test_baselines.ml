@@ -1,0 +1,152 @@
+open Ubpa_util
+open Ubpa_sim
+open Unknown_ba
+open Helpers
+
+(* ----- Srikanth–Toueg broadcast (known f) ----- *)
+
+module St = Ubpa_baselines.St_broadcast.Make (Value.String)
+module St_net = Network.Make (St)
+
+let run_st ~n_correct ~f_byz ~f_param payload =
+  let ids = Node_id.scatter ~seed:61L (n_correct + f_byz) in
+  let correct_ids = List.filteri (fun i _ -> i < n_correct) ids in
+  let byz_ids = List.filteri (fun i _ -> i >= n_correct) ids in
+  let correct =
+    List.mapi
+      (fun i id ->
+        (id, { St.payload = (if i = 0 then Some payload else None); f = f_param }))
+      correct_ids
+  in
+  let byzantine = List.map (fun id -> (id, Strategy.silent)) byz_ids in
+  let net = St_net.create ~correct ~byzantine () in
+  let stop net =
+    let reports = St_net.reports net in
+    reports <> []
+    && List.for_all
+         (fun r ->
+           match r.St_net.last_output with Some (_ :: _) -> true | _ -> false)
+         reports
+  in
+  let _ = St_net.run_until ~max_rounds:30 net ~stop in
+  net
+
+let test_st_correct_sender () =
+  let net = run_st ~n_correct:5 ~f_byz:0 ~f_param:1 "msg" in
+  List.iter
+    (fun (_, accepted) ->
+      check_true "accepted"
+        (List.exists (fun (a : St.accepted) -> a.payload = "msg") accepted);
+      List.iter
+        (fun (a : St.accepted) -> check_int "round 3" 3 a.accepted_round)
+        accepted)
+    (St_net.outputs net)
+
+let test_st_with_byz () =
+  let net = run_st ~n_correct:7 ~f_byz:3 ~f_param:3 "m" in
+  check_int "all accepted" 7 (List.length (St_net.outputs net))
+
+(* ----- Phase king (known n, f, members) ----- *)
+
+module Pk = Ubpa_baselines.Phase_king.Make (Value.Int)
+module Pk_net = Network.Make (Pk)
+
+let run_pk ?(byz = []) ~n_correct ~inputs () =
+  let n = n_correct + List.length byz in
+  let f = (n - 1) / 3 in
+  let ids = Node_id.scatter ~seed:62L n in
+  let correct_ids = List.filteri (fun i _ -> i < n_correct) ids in
+  let byz_ids = List.filteri (fun i _ -> i >= n_correct) ids in
+  let correct =
+    List.mapi
+      (fun i id -> (id, { Pk.value = inputs i; members = ids; f }))
+      correct_ids
+  in
+  let byzantine = List.combine byz_ids byz in
+  let net = Pk_net.create ~correct ~byzantine () in
+  let res = Pk_net.run ~max_rounds:200 net in
+  (net, res)
+
+let test_pk_unanimous () =
+  let net, res = run_pk ~n_correct:4 ~inputs:(fun _ -> 1) () in
+  check_true "terminated" (res = `All_halted);
+  List.iter (fun (_, v) -> check_int "validity" 1 v) (Pk_net.outputs net)
+
+let test_pk_split () =
+  let net, res = run_pk ~n_correct:4 ~inputs:binary_split () in
+  check_true "terminated" (res = `All_halted);
+  match Pk_net.outputs net with
+  | (_, first) :: rest ->
+      List.iter (fun (_, v) -> check_int "agreement" first v) rest
+  | [] -> Alcotest.fail "no outputs"
+
+let test_pk_byz () =
+  let net, res =
+    run_pk
+      ~byz:[ Ubpa_adversary.Generic.split_mirror; Strategy.silent ]
+      ~n_correct:5 ~inputs:binary_split ()
+  in
+  check_true "terminated" (res = `All_halted);
+  match Pk_net.outputs net with
+  | (_, first) :: rest ->
+      List.iter (fun (_, v) -> check_int "agreement" first v) rest
+  | [] -> Alcotest.fail "no outputs"
+
+let test_pk_round_count () =
+  let net, _ = run_pk ~n_correct:7 ~inputs:binary_split () in
+  (* f = 2: 3 phases of 3 rounds + 1 application round. *)
+  check_int "3(f+1)+1 rounds" 10 (Pk_net.round net)
+
+(* ----- Dolev et al. approximate agreement (known f) ----- *)
+
+module Da = Ubpa_baselines.Dolev_aa
+module Da_net = Network.Make (Da)
+
+let test_dolev_reduce () =
+  Alcotest.(check (option (float 1e-9)))
+    "discard f" (Some 3.)
+    (Da.reduce ~f:1 [ -50.; 2.; 3.; 4.; 60. ]);
+  Alcotest.(check (option (float 1e-9)))
+    "f larger than sensible is clamped" (Some 3.)
+    (Da.reduce ~f:10 [ 1.; 3.; 200. ]);
+  Alcotest.(check (option (float 1e-9))) "empty" None (Da.reduce ~f:1 [])
+
+let test_dolev_run () =
+  let ids = Node_id.scatter ~seed:63L 5 in
+  let correct =
+    List.mapi
+      (fun i id -> (id, { Da.value = ramp i; iterations = 3; f = 1 }))
+      ids
+  in
+  let net = Da_net.create ~correct ~byzantine:[] () in
+  let _ = Da_net.run net in
+  let outs = Da_net.outputs net in
+  check_int "all done" 5 (List.length outs);
+  List.iter
+    (fun (_, (p : Da.progress)) ->
+      check_true "within input range" (p.estimate >= 0. && p.estimate <= 40.))
+    outs
+
+let test_dolev_vs_unknown_same_shape () =
+  (* With the same inputs and no faults, the known-f and unknown-n/f
+     reductions coincide when ⌊n/3⌋ = f. *)
+  let values = [ 0.; 10.; 20.; 30. ] in
+  let ours = Unknown_ba.Approx_agreement.midpoint_rule values in
+  let theirs = Da.reduce ~f:1 values in
+  Alcotest.(check (option (float 1e-9))) "same midpoint" theirs ours
+
+let suite =
+  ( "baselines",
+    [
+      quick "srikanth-toueg: correct sender accepted in round 3"
+        test_st_correct_sender;
+      quick "srikanth-toueg: byzantine third tolerated" test_st_with_byz;
+      quick "phase-king: unanimous validity" test_pk_unanimous;
+      quick "phase-king: split inputs agree" test_pk_split;
+      quick "phase-king: byzantine faults" test_pk_byz;
+      quick "phase-king: exact round count" test_pk_round_count;
+      quick "dolev reduce unit cases" test_dolev_reduce;
+      quick "dolev aa run" test_dolev_run;
+      quick "dolev vs unknown coincide at matched parameters"
+        test_dolev_vs_unknown_same_shape;
+    ] )

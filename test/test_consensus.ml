@@ -1,0 +1,152 @@
+open Ubpa_scenarios
+open Helpers
+module C = Scenarios.Consensus_int
+
+let check_agreement s =
+  check_true "all terminated" s.C.all_terminated;
+  check_true "agreement" s.C.agreed;
+  check_true "validity" s.C.valid
+
+let test_unanimous_one_phase () =
+  (* Lemma earlyConValidity: identical inputs decide at the end of the
+     first phase: 2 init rounds + 5 phase rounds = round 7. *)
+  let s = C.run ~n_correct:4 ~inputs:all_same () in
+  check_agreement s;
+  List.iter (fun r -> check_int "decided in round 7" 7 r) s.C.decision_rounds
+
+let test_split_inputs_all_correct () =
+  let s = C.run ~n_correct:5 ~inputs:binary_split () in
+  check_agreement s
+
+let test_silent_byz () =
+  let f = 2 in
+  let s =
+    C.run
+      ~byz:(List.init f (fun _ -> C.Attacks.silent_member))
+      ~n_correct:5 ~inputs:binary_split ()
+  in
+  check_agreement s
+
+let test_split_world_attack () =
+  let f = 2 in
+  let s =
+    C.run
+      ~byz:(List.init f (fun _ -> C.Attacks.split_world 0 1))
+      ~n_correct:7 ~inputs:binary_split ()
+  in
+  check_agreement s
+
+let test_split_world_boundary () =
+  (* n = 3f + 1: the tightest admissible ratio. *)
+  List.iter
+    (fun f ->
+      let s =
+        C.run
+          ~byz:(List.init f (fun _ -> C.Attacks.split_world 0 1))
+          ~n_correct:((2 * f) + 1)
+          ~inputs:binary_split ()
+      in
+      check_true (Printf.sprintf "agreement at f=%d" f) (s.C.agreed && s.C.valid))
+    [ 1; 2; 3; 4 ]
+
+let test_stubborn_attack_validity () =
+  (* All correct nodes hold 7; byzantine nodes push 9 relentlessly. The
+     output must still be 7. *)
+  let f = 2 in
+  let s =
+    C.run
+      ~byz:(List.init f (fun _ -> C.Attacks.stubborn 9))
+      ~n_correct:5 ~inputs:all_same ()
+  in
+  check_agreement s;
+  List.iter (fun (_, v) -> check_int "output is the unanimous input" 7 v) s.C.outputs
+
+let test_round_complexity_o_f () =
+  (* Theorem earlyCon: O(f) rounds. Generous constant: <= 5(2f+4)+2. *)
+  List.iter
+    (fun f ->
+      let s =
+        C.run
+          ~byz:(List.init f (fun _ -> C.Attacks.split_world 0 1))
+          ~n_correct:((2 * f) + 1)
+          ~inputs:binary_split ()
+      in
+      let bound = (5 * ((2 * f) + 4)) + 2 in
+      List.iter
+        (fun r ->
+          check_true
+            (Printf.sprintf "rounds %d <= %d at f=%d" r bound f)
+            (r <= bound))
+        s.C.decision_rounds)
+    [ 1; 2; 3 ]
+
+let test_termination_skew_one_phase () =
+  let s =
+    C.run
+      ~byz:[ C.Attacks.split_world 0 1 ]
+      ~n_correct:3 ~inputs:binary_split ()
+  in
+  check_agreement s;
+  match s.C.decision_rounds with
+  | [] -> Alcotest.fail "no decisions"
+  | l ->
+      let lo = List.fold_left min max_int l in
+      let hi = List.fold_left max min_int l in
+      check_true "skew at most one phase (5 rounds)" (hi - lo <= 5)
+
+let test_real_valued_inputs () =
+  (* Algorithm 3 takes arbitrary (here: spread-out) values, not only bits. *)
+  let s = C.run ~n_correct:5 ~inputs:(fun i -> 1000 + (17 * i)) () in
+  check_true "agreed" s.C.agreed;
+  check_true "valid" s.C.valid
+
+let test_crash_fault () =
+  let s =
+    C.run
+      ~byz:[ Ubpa_adversary.Generic.crash_after 4 ]
+      ~n_correct:4 ~inputs:binary_split ()
+  in
+  check_agreement s
+
+let test_mirror_fault () =
+  let s =
+    C.run
+      ~byz:[ Ubpa_adversary.Generic.mirror ]
+      ~n_correct:4 ~inputs:binary_split ()
+  in
+  check_agreement s
+
+let test_spam_fault () =
+  let s =
+    C.run
+      ~byz:[ Ubpa_adversary.Generic.spam ]
+      ~n_correct:4 ~inputs:binary_split ()
+  in
+  check_agreement s
+
+let test_larger_network () =
+  let s =
+    C.run
+      ~byz:(List.init 5 (fun _ -> C.Attacks.split_world 0 1))
+      ~n_correct:16 ~inputs:binary_split ()
+  in
+  check_agreement s
+
+let suite =
+  ( "consensus",
+    [
+      quick "unanimous inputs decide in one phase" test_unanimous_one_phase;
+      quick "split inputs, all correct" test_split_inputs_all_correct;
+      quick "silent members (substitution rule)" test_silent_byz;
+      quick "split-world equivocation" test_split_world_attack;
+      quick "split-world at the n=3f+1 boundary" test_split_world_boundary;
+      quick "stubborn minority cannot break validity"
+        test_stubborn_attack_validity;
+      quick "O(f) round complexity" test_round_complexity_o_f;
+      quick "termination skew at most one phase" test_termination_skew_one_phase;
+      quick "non-binary opinions" test_real_valued_inputs;
+      quick "crash fault" test_crash_fault;
+      quick "mirror fault" test_mirror_fault;
+      quick "spam fault" test_spam_fault;
+      slow "larger network n=21 f=5" test_larger_network;
+    ] )

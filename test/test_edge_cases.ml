@@ -1,0 +1,149 @@
+(** Degenerate and stress configurations: the algorithms must behave at
+    n = 1..3 (f = 0) and at the largest sizes the suite exercises. *)
+
+open Ubpa_sim
+open Ubpa_scenarios
+open Helpers
+
+(* ----- tiny networks ----- *)
+
+let test_consensus_singleton () =
+  let s = Scenarios.Consensus_int.run ~n_correct:1 ~inputs:(fun _ -> 5) () in
+  check_true "terminated" s.Scenarios.Consensus_int.all_terminated;
+  check_true "agreed" s.Scenarios.Consensus_int.agreed;
+  List.iter
+    (fun (_, v) -> check_int "decides own input" 5 v)
+    s.Scenarios.Consensus_int.outputs
+
+let test_consensus_pair_and_triple () =
+  List.iter
+    (fun n ->
+      let s =
+        Scenarios.Consensus_int.run ~n_correct:n ~inputs:binary_split ()
+      in
+      check_true
+        (Printf.sprintf "n=%d agreed" n)
+        (s.Scenarios.Consensus_int.all_terminated
+        && s.Scenarios.Consensus_int.agreed))
+    [ 2; 3 ]
+
+let test_rb_singleton () =
+  let s = Scenarios.Rb.run ~n_correct:1 ~payload:"solo" () in
+  check_true "accepts own broadcast" s.Scenarios.Rb.all_accepted_sender_payload;
+  check_int "in round 3" 3 s.Scenarios.Rb.max_accept_round
+
+let test_rotor_singleton () =
+  let s = Scenarios.Rotor_int.run ~n_correct:1 () in
+  check_true "terminated" s.Scenarios.Rotor_int.all_terminated;
+  (* The single node selects itself once, then the index wraps. *)
+  match s.Scenarios.Rotor_int.outputs with
+  | [ (_, o) ] -> check_int "one selection" 1 (List.length o.Scenarios.Rotor_int.P.selections)
+  | _ -> Alcotest.fail "expected one output"
+
+let test_aa_singleton () =
+  let s = Scenarios.Aa.run ~n_correct:1 ~inputs:(fun _ -> 9.5) () in
+  check_true "within" s.Scenarios.Aa.within_range;
+  List.iter
+    (fun (_, v) -> Alcotest.(check (float 1e-9)) "keeps own value" 9.5 v)
+    s.Scenarios.Aa.outputs
+
+let test_renaming_singleton () =
+  let s = Scenarios.Renaming_run.run ~n_correct:1 () in
+  check_true "terminated" s.Scenarios.Renaming_run.all_terminated;
+  List.iter
+    (fun (_, (o : Unknown_ba.Renaming.output)) ->
+      check_int "name 1" 1 o.my_name)
+    s.Scenarios.Renaming_run.outputs
+
+let test_binary_pair () =
+  let s = Scenarios.Binary.run ~n_correct:2 ~inputs:(fun i -> i = 0) () in
+  check_true "terminated+agreed"
+    (s.Scenarios.Binary.all_terminated && s.Scenarios.Binary.agreed)
+
+(* ----- stress ----- *)
+
+let test_consensus_stress_mixed_adversaries () =
+  let module A = Scenarios.Consensus_int.Attacks in
+  let byz =
+    [
+      A.split_world 0 1;
+      A.split_world 1 0;
+      A.stubborn 9;
+      A.half_stubborn 0;
+      A.silent_member;
+      Ubpa_adversary.Generic.spam;
+      Ubpa_adversary.Generic.random_mix;
+      Ubpa_adversary.Generic.split_mirror;
+      Ubpa_adversary.Generic.replay ~delay:3;
+      Ubpa_adversary.Combinators.merge
+        [ A.stubborn 3; Ubpa_adversary.Generic.mirror ];
+      Ubpa_adversary.Combinators.switch_at ~round:9 Strategy.silent
+        (A.split_world 0 1);
+      Ubpa_adversary.Combinators.with_probability 0.7 (A.half_stubborn 1);
+      Strategy.silent;
+    ]
+  in
+  (* n = 40, f = 13 = max_f: the heaviest single consensus run in the
+     suite, under a 13-strategy zoo. *)
+  let s =
+    Scenarios.Consensus_int.run ~byz ~n_correct:27 ~inputs:binary_split ()
+  in
+  check_true "agreement at n=40 under a 13-strategy zoo"
+    (s.Scenarios.Consensus_int.all_terminated
+    && s.Scenarios.Consensus_int.agreed
+    && s.Scenarios.Consensus_int.valid)
+
+let test_parallel_stress_many_instances () =
+  let k = 32 in
+  let s =
+    Scenarios.Parallel_int.run ~n_correct:4
+      ~inputs:(fun _ -> List.init k (fun j -> (j, j * j)))
+      ()
+  in
+  check_true "32 instances in one phase"
+    (s.Scenarios.Parallel_int.all_terminated
+    && s.Scenarios.Parallel_int.agreed);
+  check_int "one phase" 7 s.Scenarios.Parallel_int.rounds
+
+let test_total_order_stress () =
+  let churn =
+    {
+      Scenarios.Total_order_str.join_at = [ (4, 1); (7, 1) ];
+      leave_at = [ (10, 1) ];
+    }
+  in
+  let s =
+    Scenarios.Total_order_str.run
+      ~byz:[ Strategy.silent; Strategy.silent ]
+      ~churn ~n_genesis:7 ~rounds:12 ~events_per_round:2 ()
+  in
+  check_true "prefix at n=9 with byz and churn" s.Scenarios.Total_order_str.prefix_consistent;
+  check_true "events ordered"
+    (List.exists (fun l -> l >= 20) s.Scenarios.Total_order_str.chain_lengths)
+
+let test_rb_large () =
+  let s =
+    Scenarios.Rb.run
+      ~byz:(List.init 20 (fun _ -> Strategy.silent))
+      ~n_correct:41 ~payload:"big" ()
+  in
+  check_true "n=61 f=20 accepts in round 3"
+    (s.Scenarios.Rb.all_accepted_sender_payload
+    && s.Scenarios.Rb.max_accept_round = 3)
+
+let suite =
+  ( "edge-cases",
+    [
+      quick "consensus alone in the network" test_consensus_singleton;
+      quick "consensus with two and three nodes" test_consensus_pair_and_triple;
+      quick "reliable broadcast to oneself" test_rb_singleton;
+      quick "rotor with a single candidate" test_rotor_singleton;
+      quick "approximate agreement alone" test_aa_singleton;
+      quick "renaming a single node" test_renaming_singleton;
+      quick "binary consensus with two nodes" test_binary_pair;
+      slow "consensus n=40 under a 13-strategy adversary zoo"
+        test_consensus_stress_mixed_adversaries;
+      slow "parallel consensus with 32 instances" test_parallel_stress_many_instances;
+      slow "total order n=9 with churn and byzantine nodes" test_total_order_stress;
+      slow "reliable broadcast at n=61" test_rb_large;
+    ] )

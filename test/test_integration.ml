@@ -1,0 +1,165 @@
+(** Cross-module integration tests, including the paper's Discussion
+    remarks made executable. *)
+
+open Ubpa_util
+open Ubpa_sim
+open Unknown_ba
+open Helpers
+
+(* ----- Renaming -> classic phase-king pipeline -----
+
+   The Discussion notes that algorithms "could be compiled to work without
+   the knowledge of n and f". One concrete compilation: run the id-only
+   renaming first; afterwards every correct node knows a common set S —
+   hence n = |S| and f = ⌊(n-1)/3⌋ — and can run any classic algorithm that
+   needs the member list, here Berman-Garay-Perry phase king. *)
+
+module Rename_net = Network.Make (Renaming)
+module Pk = Ubpa_baselines.Phase_king.Make (Value.Int)
+module Pk_net = Network.Make (Pk)
+
+let test_rename_then_phase_king () =
+  let ids = Node_id.scatter ~seed:81L 7 in
+  let correct_ids = List.filteri (fun i _ -> i < 5) ids in
+  let byz_ids = List.filteri (fun i _ -> i >= 5) ids in
+  (* Stage 1: renaming in the id-only model. Byzantine nodes announce
+     themselves (mirror) so they end up in S — the worst case for stage 2,
+     since they will get phase-king turns. *)
+  let net1 =
+    Rename_net.create
+      ~correct:(List.map (fun id -> (id, ())) correct_ids)
+      ~byzantine:(List.map (fun id -> (id, Ubpa_adversary.Generic.mirror)) byz_ids)
+      ()
+  in
+  (match Rename_net.run net1 with
+  | `All_halted -> ()
+  | `Max_rounds_reached -> Alcotest.fail "renaming did not terminate");
+  let tables =
+    List.map (fun (_, (o : Renaming.output)) -> o.names) (Rename_net.outputs net1)
+  in
+  let table = List.hd tables in
+  List.iter (fun t -> check_true "common table" (t = table)) tables;
+  (* Stage 2: every correct node derives (members, n, f) from the common
+     table and runs the classic algorithm. *)
+  let members = List.map fst table in
+  let n = List.length members in
+  let f = (n - 1) / 3 in
+  check_true "f covers the byzantine announcers" (f >= List.length byz_ids);
+  let net2 =
+    Pk_net.create
+      ~correct:
+        (List.mapi
+           (fun i id -> (id, { Pk.value = i mod 2; members; f }))
+           correct_ids)
+      ~byzantine:
+        (List.map (fun id -> (id, Ubpa_adversary.Generic.split_mirror)) byz_ids)
+      ()
+  in
+  (match Pk_net.run net2 with
+  | `All_halted -> ()
+  | `Max_rounds_reached -> Alcotest.fail "phase king did not terminate");
+  match Pk_net.outputs net2 with
+  | (_, first) :: rest ->
+      List.iter (fun (_, v) -> check_int "phase-king agreement" first v) rest
+  | [] -> Alcotest.fail "no outputs"
+
+(* ----- Subset approximate agreement (Discussion) -----
+
+   "Consider a set of nodes that are in approximate agreement with each
+   other already and a new node joins. Then the new node can execute
+   Algorithm 4 only with a subset of nodes to get closer to the value of
+   most of the nodes." *)
+
+let test_new_node_converges_via_subset () =
+  (* A converged population around 42 (spread 0.5), and a newcomer holding
+     a wildly different value. Sampling only 5 of the 12 estimates plus its
+     own value, the midpoint rule moves the newcomer into (or towards) the
+     population's neighbourhood. *)
+  let population = List.init 12 (fun i -> 42.0 +. (0.04 *. float_of_int i)) in
+  let subset = List.filteri (fun i _ -> i < 5) population in
+  let newcomer = 1000.0 in
+  match Approx_agreement.midpoint_rule (newcomer :: subset) with
+  | None -> Alcotest.fail "no result"
+  | Some v ->
+      check_true
+        (Printf.sprintf "newcomer moved from %.0f to %.2f" newcomer v)
+        (v < newcomer /. 2.);
+      (* One more exchange with the subset lands inside the population
+         range. *)
+      let v2 =
+        Option.get (Approx_agreement.midpoint_rule (v :: subset))
+      in
+      check_true "second step lands near the population"
+        (v2 >= 42.0 && v2 <= 42.5 +. (v -. 42.5) /. 2.)
+
+(* ----- TRB on top of consensus stays consistent with direct RB ----- *)
+
+let test_trb_agrees_with_rb_on_correct_sender () =
+  let open Ubpa_scenarios in
+  let rb = Scenarios.Rb.run ~n_correct:5 ~payload:"same" () in
+  let trb = Scenarios.Trb_str.run ~n_correct:5 ~payload:"same" () in
+  check_true "rb accepted" rb.Scenarios.Rb.all_accepted_sender_payload;
+  check_true "trb agreed" trb.Scenarios.Trb_str.agreed;
+  List.iter
+    (fun (_, o) ->
+      Alcotest.(check (option string)) "same payload" (Some "same") o)
+    trb.Scenarios.Trb_str.outputs
+
+(* ----- engine: byzantine churn ----- *)
+
+module C = Consensus.Make (Value.Int)
+module C_net = Network.Make (C)
+module C_attacks = Ubpa_adversary.Consensus_attacks.Make (Value.Int)
+
+let test_byzantine_join_and_leave_mid_run () =
+  let ids = Node_id.scatter ~seed:82L 6 in
+  let correct_ids = List.filteri (fun i _ -> i < 4) ids in
+  let byz1 = List.nth ids 4 in
+  let byz2 = List.nth ids 5 in
+  let net =
+    C_net.create
+      ~correct:(List.mapi (fun i id -> (id, i mod 2)) correct_ids)
+      ~byzantine:[ (byz1, C_attacks.split_world 0 1) ]
+      ()
+  in
+  C_net.step_round net;
+  C_net.step_round net;
+  (* The adversary swaps its troops mid-run: one leaves, one joins. The
+     joiner is not in anyone's member set (membership froze at round 3), so
+     it must be harmless; the leaver's silence triggers substitution. *)
+  C_net.remove_byzantine net byz1;
+  C_net.join_byzantine net byz2 (C_attacks.stubborn 9);
+  (match C_net.run net with
+  | `All_halted -> ()
+  | `Max_rounds_reached -> Alcotest.fail "did not terminate");
+  match C_net.outputs net with
+  | (_, first) :: rest ->
+      List.iter (fun (_, v) -> check_int "agreement" first v) rest;
+      check_int "all decided" 4 (List.length (C_net.outputs net))
+  | [] -> Alcotest.fail "no outputs"
+
+let test_engine_send_trace () =
+  let trace = Trace.create () in
+  let ids = Node_id.scatter ~seed:83L 3 in
+  let net =
+    C_net.create ~trace
+      ~correct:(List.map (fun id -> (id, 1)) ids)
+      ~byzantine:[] ()
+  in
+  let _ = C_net.run net in
+  let is_send e =
+    String.length e.Trace.what >= 4 && String.sub e.Trace.what 0 4 = "send"
+  in
+  check_true "sends recorded" (Trace.find trace ~f:is_send <> None)
+
+let suite =
+  ( "integration",
+    [
+      quick "renaming bootstraps a classic known-n/f algorithm"
+        test_rename_then_phase_king;
+      quick "subset approximate agreement pulls a newcomer in"
+        test_new_node_converges_via_subset;
+      quick "terminating RB consistent with plain RB" test_trb_agrees_with_rb_on_correct_sender;
+      quick "byzantine join/leave mid-run" test_byzantine_join_and_leave_mid_run;
+      quick "engine records message-level traces" test_engine_send_trace;
+    ] )

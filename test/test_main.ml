@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "unknown-ba"
+    [
+      Test_util.suite;
+      Test_sim.suite;
+      Test_rb.suite;
+      Test_rotor.suite;
+      Test_consensus.suite;
+      Test_binary.suite;
+      Test_core_internals.suite;
+      Test_integration.suite;
+      Test_adversary.suite;
+      Test_edge_cases.suite;
+      Test_timeline.suite;
+      Test_aa.suite;
+      Test_parallel.suite;
+      Test_total_order.suite;
+      Test_renaming.suite;
+      Test_trb.suite;
+      Test_baselines.suite;
+      Test_semisync.suite;
+      Test_properties.suite;
+    ]

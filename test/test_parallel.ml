@@ -1,0 +1,153 @@
+open Ubpa_sim
+open Ubpa_scenarios
+open Helpers
+module P = Scenarios.Parallel_int
+
+let check_ok s =
+  check_true "terminated" s.P.all_terminated;
+  check_true "agreement on pair sets" s.P.agreed
+
+let test_common_pair_is_output () =
+  (* Validity: a pair input at every correct node is output everywhere. *)
+  let s = P.run ~n_correct:4 ~inputs:(fun _ -> [ (10, 5) ]) () in
+  check_ok s;
+  List.iter
+    (fun (_, pairs) -> check_true "(10,5) present" (List.mem (10, 5) pairs))
+    s.P.outputs
+
+let test_multiple_instances () =
+  let s =
+    P.run ~n_correct:5 ~inputs:(fun _ -> [ (1, 11); (2, 22); (3, 33) ]) ()
+  in
+  check_ok s;
+  List.iter
+    (fun (_, pairs) ->
+      check_true "all three pairs" (pairs = [ (1, 11); (2, 22); (3, 33) ]))
+    s.P.outputs
+
+let test_partial_awareness () =
+  (* Only one correct node holds the pair; the others discover the instance
+     during the first phase. Any outcome is legal as long as nodes agree. *)
+  let s =
+    P.run ~n_correct:5
+      ~inputs:(fun i -> if i = 0 then [ (42, 7) ] else [])
+      ()
+  in
+  check_ok s
+
+let test_disjoint_inputs () =
+  let s = P.run ~n_correct:4 ~inputs:(fun i -> [ (i, 100 + i) ]) () in
+  check_ok s
+
+let test_no_inputs_terminates () =
+  (* Nobody has anything to propose; everyone must still terminate after
+     the first (empty) phase. *)
+  let s = P.run ~n_correct:4 ~inputs:(fun _ -> []) () in
+  check_ok s;
+  List.iter (fun (_, pairs) -> check_int "empty output" 0 (List.length pairs)) s.P.outputs
+
+let test_ghost_instance_suppressed () =
+  (* Theorem parCon, second half: an identifier no correct node holds must
+     never be output. *)
+  let s =
+    P.run
+      ~byz:[ P.Attacks.ghost_instance ~id:99 77 ]
+      ~n_correct:4
+      ~inputs:(fun _ -> [ (1, 5) ])
+      ()
+  in
+  check_ok s;
+  List.iter
+    (fun (_, pairs) ->
+      check_false "ghost id 99 never output" (List.mem_assoc 99 pairs);
+      check_true "real pair survives" (List.mem (1, 5) pairs))
+    s.P.outputs
+
+let test_late_instance_discarded () =
+  (* Messages for an unknown instance arriving after the first phase are
+     dropped. *)
+  let s =
+    P.run
+      ~byz:[ P.Attacks.late_instance ~id:55 9 ~after_round:9 ]
+      ~n_correct:4
+      ~inputs:(fun _ -> [ (1, 5) ])
+      ()
+  in
+  check_ok s;
+  List.iter
+    (fun (_, pairs) -> check_false "late id never output" (List.mem_assoc 55 pairs))
+    s.P.outputs
+
+let test_split_instance_attack () =
+  let s =
+    P.run
+      ~byz:[ P.Attacks.split_instance ~id:1 0 1 ]
+      ~n_correct:7
+      ~inputs:(fun _ -> [ (1, 0) ])
+      ()
+  in
+  check_ok s
+
+let test_silent_byz_members () =
+  let s =
+    P.run
+      ~byz:[ Strategy.silent; Strategy.silent ]
+      ~n_correct:7
+      ~inputs:(fun _ -> [ (4, 44); (5, 55) ])
+      ()
+  in
+  check_ok s;
+  List.iter
+    (fun (_, pairs) -> check_true "both pairs" (pairs = [ (4, 44); (5, 55) ]))
+    s.P.outputs
+
+let test_conflicting_values_same_instance () =
+  (* Correct nodes input different values under the same identifier: they
+     must agree on one of them (or on nothing), never split. *)
+  let s = P.run ~n_correct:5 ~inputs:(fun i -> [ (1, i mod 2) ]) () in
+  check_ok s
+
+let test_marker_flood () =
+  (* Byzantine markers for a live instance neither create preferences nor
+     block the real quorum. *)
+  let s =
+    P.run
+      ~byz:[ P.Attacks.marker_flood ~id:1; Strategy.silent ]
+      ~n_correct:5
+      ~inputs:(fun _ -> [ (1, 42) ])
+      ()
+  in
+  check_ok s;
+  List.iter
+    (fun (_, pairs) -> check_true "(1,42) decided" (List.mem (1, 42) pairs))
+    s.P.outputs
+
+let test_many_instances () =
+  let k = 8 in
+  let s =
+    P.run ~n_correct:4
+      ~inputs:(fun _ -> List.init k (fun j -> (j, 2 * j)))
+      ()
+  in
+  check_ok s;
+  List.iter
+    (fun (_, pairs) -> check_int "k instances decided" k (List.length pairs))
+    s.P.outputs
+
+let suite =
+  ( "parallel-consensus",
+    [
+      quick "common pair is output everywhere" test_common_pair_is_output;
+      quick "several instances run in lockstep" test_multiple_instances;
+      quick "instances discovered from other nodes" test_partial_awareness;
+      quick "disjoint single-holder inputs" test_disjoint_inputs;
+      quick "no inputs: clean termination" test_no_inputs_terminates;
+      quick "byzantine ghost instance decides ⊥" test_ghost_instance_suppressed;
+      quick "late instance messages discarded" test_late_instance_discarded;
+      quick "split values within one instance" test_split_instance_attack;
+      quick "silent byzantine members" test_silent_byz_members;
+      quick "conflicting correct inputs in one instance"
+        test_conflicting_values_same_instance;
+      quick "byzantine marker flood" test_marker_flood;
+      quick "eight instances at once" test_many_instances;
+    ] )

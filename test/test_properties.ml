@@ -1,0 +1,356 @@
+(** Property-based tests: random populations, inputs, seeds, and adversary
+    mixes; the paper's safety claims must hold on every draw. *)
+
+open Ubpa_sim
+open Ubpa_scenarios
+open Helpers
+
+let consensus_attack_pool =
+  let module A = Scenarios.Consensus_int.Attacks in
+  [|
+    (fun _ -> Strategy.silent);
+    (fun _ -> A.silent_member);
+    (fun i -> A.split_world (i mod 2) ((i + 1) mod 2));
+    (fun i -> A.stubborn i);
+    (fun i -> A.half_stubborn i);
+    (fun _ -> Ubpa_adversary.Generic.mirror);
+    (fun _ -> Ubpa_adversary.Generic.spam);
+    (fun _ -> Ubpa_adversary.Generic.split_mirror);
+    (fun _ -> Ubpa_adversary.Generic.crash_after 5);
+    (fun _ -> Ubpa_adversary.Generic.random_mix);
+    (* combinator-wrapped compound attacks *)
+    (fun i ->
+      Ubpa_adversary.Combinators.switch_at ~round:7
+        Ubpa_adversary.Generic.mirror
+        (A.split_world (i mod 2) ((i + 1) mod 2)));
+    (fun i ->
+      Ubpa_adversary.Combinators.target_subset ~fraction:0.5 (A.stubborn i));
+    (fun i ->
+      Ubpa_adversary.Combinators.with_probability 0.6 (A.half_stubborn i));
+    (fun i ->
+      Ubpa_adversary.Combinators.merge
+        [ A.stubborn i; Ubpa_adversary.Generic.spam ]);
+  |]
+
+let gen_scene =
+  QCheck2.Gen.(
+    let* f = int_range 0 3 in
+    let* extra = int_range 0 3 in
+    let* seed = int_range 1 10_000 in
+    let* attack_ix = array_size (pure f) (int_bound (Array.length consensus_attack_pool - 1)) in
+    let* inputs = array_size (pure ((3 * f) + 1 + extra - f)) (int_bound 4) in
+    pure (f, extra, seed, attack_ix, inputs))
+
+let prop_consensus_safe =
+  QCheck2.Test.make ~count:60 ~name:"consensus: agreement+validity on random scenes"
+    gen_scene (fun (f, extra, seed, attack_ix, inputs) ->
+      let n_correct = (3 * f) + 1 + extra - f in
+      let byz =
+        Array.to_list (Array.mapi (fun i ix -> consensus_attack_pool.(ix) i) attack_ix)
+      in
+      let s =
+        Scenarios.Consensus_int.run
+          ~seed:(Int64.of_int seed)
+          ~byz ~n_correct
+          ~inputs:(fun i -> inputs.(i mod Array.length inputs))
+          ()
+      in
+      s.Scenarios.Consensus_int.all_terminated
+      && s.Scenarios.Consensus_int.agreed
+      && s.Scenarios.Consensus_int.valid)
+
+let aa_attack_pool =
+  [|
+    (fun _ -> Strategy.silent);
+    (fun _ -> Ubpa_adversary.Aa_attacks.pull_apart ~low:(-1e5) ~high:1e5);
+    (fun _ -> Ubpa_adversary.Aa_attacks.outlier 1e7);
+    (fun _ -> Ubpa_adversary.Aa_attacks.tracker ~offset:3.);
+    (fun _ -> Ubpa_adversary.Generic.mirror);
+  |]
+
+let gen_aa =
+  QCheck2.Gen.(
+    let* f = int_range 0 3 in
+    let* extra = int_range 0 4 in
+    let* seed = int_range 1 10_000 in
+    let* attack_ix = array_size (pure f) (int_bound (Array.length aa_attack_pool - 1)) in
+    let* values =
+      array_size
+        (pure ((3 * f) + 1 + extra - f))
+        (float_bound_inclusive 1000.)
+    in
+    pure (f, seed, attack_ix, values))
+
+let prop_aa_safe =
+  QCheck2.Test.make ~count:80
+    ~name:"approximate agreement: within-range and halving on random scenes"
+    gen_aa (fun (f, seed, attack_ix, values) ->
+      let n_correct = Array.length values in
+      ignore f;
+      let byz =
+        Array.to_list (Array.mapi (fun i ix -> aa_attack_pool.(ix) i) attack_ix)
+      in
+      let s =
+        Scenarios.Aa.run
+          ~seed:(Int64.of_int seed)
+          ~byz ~n_correct
+          ~inputs:(fun i -> values.(i))
+          ()
+      in
+      s.Scenarios.Aa.within_range
+      && s.Scenarios.Aa.contraction <= 0.5 +. 1e-9)
+
+let gen_rb =
+  QCheck2.Gen.(
+    let* f = int_range 0 3 in
+    let* extra = int_range 0 3 in
+    let* seed = int_range 1 10_000 in
+    pure (f, extra, seed))
+
+let prop_rb_correctness =
+  QCheck2.Test.make ~count:60
+    ~name:"reliable broadcast: correct sender accepted in round 3"
+    gen_rb (fun (f, extra, seed) ->
+      let n_correct = (2 * f) + 1 + extra in
+      let s =
+        Scenarios.Rb.run
+          ~seed:(Int64.of_int seed)
+          ~byz:(List.init f (fun _ -> Strategy.silent))
+          ~n_correct ~payload:"prop" ()
+      in
+      s.Scenarios.Rb.all_accepted_sender_payload
+      && s.Scenarios.Rb.max_accept_round = 3)
+
+let prop_renaming_consistent =
+  QCheck2.Test.make ~count:40
+    ~name:"renaming: consistent dense names on random populations"
+    QCheck2.Gen.(
+      let* f = int_range 0 2 in
+      let* extra = int_range 0 4 in
+      let* seed = int_range 1 10_000 in
+      pure (f, extra, seed))
+    (fun (f, extra, seed) ->
+      let n_correct = (2 * f) + 1 + extra in
+      let s =
+        Scenarios.Renaming_run.run
+          ~seed:(Int64.of_int seed)
+          ~byz:(List.init f (fun _ -> Strategy.silent))
+          ~n_correct ()
+      in
+      s.Scenarios.Renaming_run.all_terminated
+      && s.Scenarios.Renaming_run.consistent
+      && s.Scenarios.Renaming_run.names_are_dense)
+
+let prop_parallel_agreement =
+  QCheck2.Test.make ~count:30
+    ~name:"parallel consensus: pair-set agreement on random scenes"
+    QCheck2.Gen.(
+      let* f = int_range 0 2 in
+      let* seed = int_range 1 10_000 in
+      let* k = int_range 0 3 in
+      let* holders = int_bound 2 in
+      pure (f, seed, k, holders))
+    (fun (f, seed, k, holders) ->
+      let n_correct = (2 * f) + 2 in
+      let inputs i =
+        if i <= holders then List.init k (fun j -> (j, (10 * j) + i)) else []
+      in
+      let byz =
+        List.init f (fun i ->
+            if i mod 2 = 0 then
+              Scenarios.Parallel_int.Attacks.ghost_instance ~id:77 5
+            else Strategy.silent)
+      in
+      let s =
+        Scenarios.Parallel_int.run ~seed:(Int64.of_int seed) ~byz ~n_correct
+          ~inputs ()
+      in
+      s.Scenarios.Parallel_int.all_terminated && s.Scenarios.Parallel_int.agreed)
+
+
+let bc_attack_pool =
+  [|
+    (fun _ -> Strategy.silent);
+    (fun _ -> Ubpa_adversary.Bc_attacks.silent_member);
+    (fun _ -> Ubpa_adversary.Bc_attacks.split_world);
+    (fun i -> Ubpa_adversary.Bc_attacks.stubborn (i mod 2 = 0));
+    (fun _ -> Ubpa_adversary.Generic.mirror);
+    (fun _ -> Ubpa_adversary.Generic.spam);
+  |]
+
+let prop_binary_safe =
+  QCheck2.Test.make ~count:40
+    ~name:"binary consensus: agreement+strong-validity on random scenes"
+    QCheck2.Gen.(
+      let* f = int_range 0 2 in
+      let* extra = int_range 0 3 in
+      let* seed = int_range 1 10_000 in
+      let* attack_ix =
+        array_size (pure f) (int_bound (Array.length bc_attack_pool - 1))
+      in
+      let* inputs = array_size (pure ((2 * f) + 1 + extra)) bool in
+      pure (f, seed, attack_ix, inputs))
+    (fun (f, seed, attack_ix, inputs) ->
+      ignore f;
+      let n_correct = Array.length inputs in
+      let byz =
+        Array.to_list
+          (Array.mapi (fun i ix -> bc_attack_pool.(ix) i) attack_ix)
+      in
+      let s =
+        Scenarios.Binary.run ~seed:(Int64.of_int seed) ~byz ~n_correct
+          ~inputs:(fun i -> inputs.(i))
+          ()
+      in
+      s.Scenarios.Binary.all_terminated
+      && s.Scenarios.Binary.agreed
+      && s.Scenarios.Binary.valid)
+
+let prop_trb_agreement =
+  QCheck2.Test.make ~count:40
+    ~name:"terminating reliable broadcast: common output on random scenes"
+    QCheck2.Gen.(
+      let* f = int_range 0 2 in
+      let* extra = int_range 0 3 in
+      let* seed = int_range 1 10_000 in
+      let* byz_sender = bool in
+      pure (f, extra, seed, byz_sender))
+    (fun (f, extra, seed, byz_sender) ->
+      let f = if byz_sender then max f 1 else f in
+      let n_correct = (2 * f) + 1 + extra in
+      let s =
+        Scenarios.Trb_str.run ~seed:(Int64.of_int seed)
+          ~byz:(List.init f (fun _ -> Strategy.silent))
+          ~byz_sender ~n_correct ~payload:"p" ()
+      in
+      s.Scenarios.Trb_str.all_terminated && s.Scenarios.Trb_str.agreed
+      && (byz_sender
+         || List.for_all
+              (fun (_, o) -> o = Some "p")
+              s.Scenarios.Trb_str.outputs))
+
+let prop_rotor_good_round =
+  QCheck2.Test.make ~count:40
+    ~name:"rotor: good round exists under random staggered announcers"
+    QCheck2.Gen.(
+      let* f = int_range 0 3 in
+      let* extra = int_range 0 3 in
+      let* seed = int_range 1 10_000 in
+      let* fracs = array_size (pure f) (float_range 0.2 0.9) in
+      pure (f, extra, seed, fracs))
+    (fun (f, extra, seed, fracs) ->
+      let n_correct = (2 * f) + 1 + extra in
+      let byz =
+        Array.to_list
+          (Array.map
+             (fun fr ->
+               Scenarios.Rotor_int.Attacks.staggered_announcer ~fraction:fr)
+             fracs)
+      in
+      let s =
+        Scenarios.Rotor_int.run ~seed:(Int64.of_int seed) ~byz ~n_correct ()
+      in
+      s.Scenarios.Rotor_int.all_terminated
+      && s.Scenarios.Rotor_int.good_round_exists)
+
+
+let prop_total_order_prefix =
+  QCheck2.Test.make ~count:10
+    ~name:"total order: chain-prefix under random small churn"
+    QCheck2.Gen.(
+      let* seed = int_range 1 10_000 in
+      let* n_genesis = int_range 4 5 in
+      let* rounds = int_range 4 8 in
+      let* epr = int_range 0 2 in
+      let* join_round = int_range 3 6 in
+      let* with_join = bool in
+      pure (seed, n_genesis, rounds, epr, join_round, with_join))
+    (fun (seed, n_genesis, rounds, epr, join_round, with_join) ->
+      let churn =
+        if with_join then
+          { Scenarios.Total_order_str.join_at = [ (join_round, 1) ]; leave_at = [] }
+        else Scenarios.Total_order_str.no_churn
+      in
+      let s =
+        Scenarios.Total_order_str.run ~seed:(Int64.of_int seed) ~churn
+          ~n_genesis ~rounds ~events_per_round:epr ()
+      in
+      s.Scenarios.Total_order_str.prefix_consistent)
+
+
+(* Differential property: the id-only reliable broadcast exchanges exactly
+   as many messages as the Srikanth-Toueg baseline on fault-free runs —
+   the paper's "message complexity is unaffected" claim, as an equality. *)
+module St = Ubpa_baselines.St_broadcast.Make (Unknown_ba.Value.String)
+module St_net = Ubpa_sim.Network.Make (St)
+
+let st_delivered ~seed ~n =
+  let ids = Scenarios.make_ids ~seed n in
+  let correct =
+    List.mapi
+      (fun i id ->
+        ( id,
+          { St.payload = (if i = 0 then Some "m" else None);
+            f = Scenarios.max_f n } ))
+      ids
+  in
+  let net = St_net.create ~correct ~byzantine:[] () in
+  let stop net =
+    let reports = St_net.reports net in
+    reports <> []
+    && List.for_all
+         (fun r ->
+           match r.St_net.last_output with Some (_ :: _) -> true | _ -> false)
+         reports
+  in
+  let _ = St_net.run_until ~max_rounds:20 net ~stop in
+  (* Match the two settle rounds the Rb scenario runs. *)
+  St_net.step_round net;
+  St_net.step_round net;
+  Ubpa_sim.Metrics.delivered (St_net.metrics net)
+
+let prop_rb_matches_baseline_messages =
+  QCheck2.Test.make ~count:20
+    ~name:"reliable broadcast: message count equals Srikanth-Toueg baseline"
+    QCheck2.Gen.(
+      let* n = int_range 4 30 in
+      let* seed = int_range 1 10_000 in
+      pure (n, seed))
+    (fun (n, seed) ->
+      let seed = Int64.of_int seed in
+      let ours = Scenarios.Rb.run ~seed ~n_correct:n ~payload:"m" () in
+      ours.Scenarios.Rb.delivered_msgs = st_delivered ~seed ~n)
+
+let prop_async_partitions_always_disagree =
+  QCheck2.Test.make ~count:20
+    ~name:"impossibility: asynchronous partitions disagree for any sizes"
+    QCheck2.Gen.(
+      let* a = int_range 1 6 in
+      let* b = int_range 1 6 in
+      let* seed = int_range 1 10_000 in
+      pure (a, b, seed))
+    (fun (a, b, seed) ->
+      let v =
+        Ubpa_semisync.Partition.asynchronous ~seed:(Int64.of_int seed)
+          ~size_a:a ~size_b:b ()
+      in
+      v.Ubpa_semisync.Partition.disagreement
+      && List.for_all (fun x -> x = 1) v.Ubpa_semisync.Partition.outputs_a
+      && List.for_all (fun x -> x = 0) v.Ubpa_semisync.Partition.outputs_b)
+
+let suite =
+  ( "properties",
+    qcheck_cases
+      [
+        prop_consensus_safe;
+        prop_aa_safe;
+        prop_rb_correctness;
+        prop_renaming_consistent;
+        prop_parallel_agreement;
+        prop_binary_safe;
+        prop_trb_agreement;
+        prop_rotor_good_round;
+        prop_total_order_prefix;
+        prop_rb_matches_baseline_messages;
+        prop_async_partitions_always_disagree;
+      ] )

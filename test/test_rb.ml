@@ -1,0 +1,168 @@
+open Ubpa_sim
+open Ubpa_scenarios
+open Helpers
+module Rb = Scenarios.Rb
+
+let test_correct_sender_accepts_round3 () =
+  (* Lemma rb-correct: with a correct sender every correct node accepts in
+     round 3. *)
+  let s = Rb.run ~n_correct:4 ~payload:"hello" () in
+  check_true "all accepted" s.Rb.all_accepted_sender_payload;
+  check_int "accept round 3 (min)" 3 s.Rb.min_accept_round;
+  check_int "accept round 3 (max)" 3 s.Rb.max_accept_round
+
+let test_correct_sender_with_silent_byz () =
+  let f = 3 in
+  let s =
+    Rb.run
+      ~byz:(List.init f (fun _ -> Strategy.silent))
+      ~n_correct:7 ~payload:"msg" ()
+  in
+  check_true "all accepted despite silent byz" s.Rb.all_accepted_sender_payload;
+  check_int "round 3 still" 3 s.Rb.max_accept_round
+
+let test_relay_bound_under_partial_sender () =
+  (* Byzantine sender delivers to only 40% of correct nodes; acceptance may
+     be staggered but by the relay property at most one round apart. *)
+  let s =
+    Rb.run
+      ~byz:[ Rb.Attacks.partial_sender "part" ~fraction:0.4 ]
+      ~byz_sender:true ~n_correct:7 ~payload:"part" ()
+  in
+  let rounds =
+    List.concat_map
+      (fun (_, entries) -> List.map (fun (_, _, r) -> r) entries)
+      s.Rb.accepted
+  in
+  match rounds with
+  | [] -> () (* nobody accepted: fine, the sender is byzantine *)
+  | _ ->
+      check_int "acceptance is unanimous" (List.length s.Rb.accepted)
+        (List.length rounds);
+      let lo = List.fold_left min max_int rounds in
+      let hi = List.fold_left max min_int rounds in
+      check_true "relay: skew <= 1 round" (hi - lo <= 1)
+
+let test_equivocating_sender_consistent () =
+  (* Sender sends m1 to half, m2 to the other half. Each payload must be
+     accepted by all correct nodes or none (within the run horizon), never
+     by a strict subset forever. *)
+  let s =
+    Rb.run
+      ~byz:[ Rb.Attacks.equivocating_sender "m1" "m2" ]
+      ~byz_sender:true ~n_correct:6 ~payload:"m1" ~max_rounds:30 ()
+  in
+  let count payload =
+    List.length
+      (List.filter
+         (fun (_, entries) -> List.exists (fun (m, _, _) -> m = payload) entries)
+         s.Rb.accepted)
+  in
+  let n = List.length s.Rb.accepted in
+  List.iter
+    (fun p ->
+      let c = count p in
+      check_true
+        (Printf.sprintf "payload %s accepted by all or none (got %d/%d)" p c n)
+        (c = 0 || c = n))
+    [ "m1"; "m2" ]
+
+let test_unforgeability_ghost_echoes () =
+  (* f byzantine nodes echo a payload attributed to a correct node that
+     never sent it; with f < n_v/3 no correct node may accept it. *)
+  let claimed = List.hd (Scenarios.make_ids ~seed:1L 7) in
+  (* claimed is the first correct id in the run's population (seed 1). *)
+  let f = 2 in
+  let s =
+    Rb.run
+      ~byz:(List.init f (fun _ -> Rb.Attacks.forging_echoer "forged" ~claimed))
+      ~n_correct:7 ~payload:"real" ()
+  in
+  check_true "real payload accepted" s.Rb.all_accepted_sender_payload;
+  List.iter
+    (fun (_, entries) ->
+      check_false "forged payload never accepted"
+        (List.exists (fun (m, _, _) -> m = "forged") entries))
+    s.Rb.accepted
+
+let test_echo_amplifier_harmless () =
+  let s =
+    Rb.run
+      ~byz:[ Rb.Attacks.echo_amplifier; Rb.Attacks.echo_amplifier ]
+      ~n_correct:7 ~payload:"amp" ()
+  in
+  check_true "accepted" s.Rb.all_accepted_sender_payload
+
+let test_multiple_concurrent_senders () =
+  (* Two correct designated senders at once: both payloads accepted by
+     everyone (the implementation tracks acceptance per (payload, sender)
+     pair). Built directly on the protocol to control inputs. *)
+  let open Ubpa_util in
+  let ids = Scenarios.make_ids ~seed:21L 5 in
+  let correct =
+    List.mapi
+      (fun i id ->
+        (id, if i = 0 then Some "a" else if i = 1 then Some "b" else None))
+      ids
+  in
+  let net = Rb.Net.create ~correct ~byzantine:[] () in
+  let all_accepted_two net =
+    let reports = Rb.Net.reports net in
+    reports <> []
+    && List.for_all
+         (fun r ->
+           match r.Rb.Net.last_output with
+           | Some l -> List.length l >= 2
+           | None -> false)
+         reports
+  in
+  let res = Rb.Net.run_until ~max_rounds:20 net ~stop:all_accepted_two in
+  check_true "both payloads accepted everywhere" (res = `Stopped);
+  List.iter
+    (fun r ->
+      match r.Rb.Net.last_output with
+      | Some l ->
+          let payloads = List.map (fun a -> a.Rb.P.payload) l in
+          check_true "a present" (List.mem "a" payloads);
+          check_true "b present" (List.mem "b" payloads)
+      | None -> Alcotest.fail "missing output")
+    (Rb.Net.reports net);
+  ignore (List.hd ids |> Node_id.to_int)
+
+let test_minimal_n4_f1 () =
+  let s = Rb.run ~byz:[ Strategy.silent ] ~n_correct:3 ~payload:"tiny" () in
+  check_true "n=4 f=1 works" s.Rb.all_accepted_sender_payload
+
+let test_spam_attack () =
+  let s =
+    Rb.run ~byz:[ Ubpa_adversary.Generic.spam ] ~n_correct:4 ~payload:"x" ()
+  in
+  check_true "accepted under spam" s.Rb.all_accepted_sender_payload
+
+let test_split_mirror_attack () =
+  let s =
+    Rb.run
+      ~byz:[ Ubpa_adversary.Generic.split_mirror ]
+      ~n_correct:4 ~payload:"x" ()
+  in
+  check_true "accepted under split-mirror" s.Rb.all_accepted_sender_payload
+
+let suite =
+  ( "reliable-broadcast",
+    [
+      quick "correct sender: everyone accepts in round 3"
+        test_correct_sender_accepts_round3;
+      quick "correct sender + silent byzantine third"
+        test_correct_sender_with_silent_byz;
+      quick "relay: partial delivery converges within one round"
+        test_relay_bound_under_partial_sender;
+      quick "equivocating sender: all-or-none per payload"
+        test_equivocating_sender_consistent;
+      quick "unforgeability: ghost echoes never accepted"
+        test_unforgeability_ghost_echoes;
+      quick "echo amplifier cannot block acceptance" test_echo_amplifier_harmless;
+      quick "two concurrent correct senders" test_multiple_concurrent_senders;
+      quick "minimal network n=4, f=1" test_minimal_n4_f1;
+      quick "spam attack" test_spam_attack;
+      quick "split-mirror attack" test_split_mirror_attack;
+    ] )

@@ -1,0 +1,127 @@
+open Ubpa_sim
+open Ubpa_scenarios
+open Helpers
+module R = Scenarios.Renaming_run
+
+let test_all_correct () =
+  let n = 5 in
+  let s = R.run ~n_correct:n () in
+  check_true "terminated" s.R.all_terminated;
+  check_true "consistent" s.R.consistent;
+  check_true "dense ranks" s.R.names_are_dense;
+  List.iter
+    (fun (_, (o : Unknown_ba.Renaming.output)) ->
+      check_int "n names" n (List.length o.names);
+      check_true "my name assigned" (o.my_name >= 1 && o.my_name <= n))
+    s.R.outputs
+
+let test_names_follow_id_order () =
+  let s = R.run ~n_correct:4 () in
+  List.iter
+    (fun (_, (o : Unknown_ba.Renaming.output)) ->
+      let sorted_ids = List.map fst o.names in
+      check_true "ranks ascend with identifiers"
+        (sorted_ids = Ubpa_util.Node_id.sorted sorted_ids))
+    s.R.outputs
+
+let test_silent_byz () =
+  (* Silent byzantine nodes never announce, so only correct identifiers get
+     renamed — consistently. *)
+  let f = 2 in
+  let s =
+    R.run ~byz:(List.init f (fun _ -> Strategy.silent)) ~n_correct:5 ()
+  in
+  check_true "terminated" s.R.all_terminated;
+  check_true "consistent" s.R.consistent;
+  List.iter
+    (fun (_, (o : Unknown_ba.Renaming.output)) ->
+      check_int "only correct ids named" 5 (List.length o.names))
+    s.R.outputs
+
+let test_announcing_byz () =
+  (* Byzantine nodes that announce normally (mirror) are included in S —
+     that is allowed; consistency is what matters. *)
+  let s =
+    R.run ~byz:[ Ubpa_adversary.Generic.mirror ] ~n_correct:4 ()
+  in
+  check_true "terminated" s.R.all_terminated;
+  check_true "consistent" s.R.consistent;
+  check_true "dense" s.R.names_are_dense
+
+let test_round_complexity () =
+  (* O(f) rounds: with the 4f+3 bound of the proof plus init rounds. *)
+  let f = 2 in
+  let s =
+    R.run ~byz:(List.init f (fun _ -> Strategy.silent)) ~n_correct:7 ()
+  in
+  check_true "terminated" s.R.all_terminated;
+  check_true
+    (Printf.sprintf "rounds %d within bound" s.R.rounds)
+    (s.R.rounds <= (4 * f) + 10)
+
+let test_large_ids_small_names () =
+  let s = R.run ~n_correct:6 () in
+  List.iter
+    (fun ((id : Ubpa_util.Node_id.t), (o : Unknown_ba.Renaming.output)) ->
+      check_true "identifier large, name small"
+        (Ubpa_util.Node_id.to_int id > 6 && o.my_name <= 6))
+    s.R.outputs
+
+
+let test_partial_announcer () =
+  (* The byzantine identifier percolates into S over several rounds; the
+     two-round stability window and the vote relay must still yield a
+     common, dense table. *)
+  let s =
+    R.run
+      ~byz:
+        [
+          Ubpa_adversary.Rename_attacks.partial_announcer ~fraction:0.4;
+          Ubpa_adversary.Rename_attacks.partial_announcer ~fraction:0.6;
+        ]
+      ~n_correct:7 ()
+  in
+  check_true "terminated" s.R.all_terminated;
+  check_true "consistent" s.R.consistent;
+  check_true "dense" s.R.names_are_dense
+
+let test_vote_rusher () =
+  (* Premature terminate(k) floods from f < n_v/3 nodes must not trigger
+     early (inconsistent) termination. *)
+  let s =
+    R.run
+      ~byz:(List.init 2 (fun _ -> Ubpa_adversary.Rename_attacks.vote_rusher))
+      ~n_correct:7 ()
+  in
+  check_true "terminated" s.R.all_terminated;
+  check_true "consistent despite vote rushing" s.R.consistent
+
+let test_churning_candidate () =
+  (* Ghost echoes from f colluders never cross n_v/3, so S stabilizes. *)
+  let s =
+    R.run
+      ~byz:
+        (List.init 2 (fun _ -> Ubpa_adversary.Rename_attacks.churning_candidate))
+      ~n_correct:7 ()
+  in
+  check_true "terminated despite churn attempts" s.R.all_terminated;
+  check_true "consistent" s.R.consistent;
+  (* The announced byzantine identifiers are in S, their ghosts are not. *)
+  List.iter
+    (fun (_, (o : Unknown_ba.Renaming.output)) ->
+      check_int "correct + announcing byz only" 9 (List.length o.names))
+    s.R.outputs
+
+let suite =
+  ( "renaming",
+    [
+      quick "all-correct renaming is consistent and dense" test_all_correct;
+      quick "ranks follow identifier order" test_names_follow_id_order;
+      quick "silent byzantine nodes excluded" test_silent_byz;
+      quick "announcing byzantine nodes tolerated" test_announcing_byz;
+      quick "O(f) round complexity" test_round_complexity;
+      quick "large identifiers become small names" test_large_ids_small_names;
+      quick "partial announcer percolates safely" test_partial_announcer;
+      quick "premature terminate votes rejected" test_vote_rusher;
+      quick "ghost churn cannot prevent stability" test_churning_candidate;
+    ] )

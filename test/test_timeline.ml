@@ -1,0 +1,72 @@
+open Ubpa_util
+open Ubpa_sim
+open Helpers
+
+module C = Unknown_ba.Consensus.Make (Unknown_ba.Value.Int)
+module Net = Network.Make (C)
+
+let traced_run () =
+  let trace = Trace.create () in
+  let ids = Node_id.scatter ~seed:91L 4 in
+  let net =
+    Net.create ~trace
+      ~correct:(List.mapi (fun i id -> (id, i mod 2)) ids)
+      ~byzantine:[] ()
+  in
+  let _ = Net.run net in
+  (trace, ids, Net.round net)
+
+let test_dimensions () =
+  let trace, ids, rounds = traced_run () in
+  let tl = Timeline.of_trace trace in
+  check_int "rounds" rounds (Timeline.rounds tl);
+  check_true "all nodes present" (Timeline.nodes tl = Node_id.sorted ids)
+
+let test_rendering () =
+  let trace, ids, _ = traced_run () in
+  let tl = Timeline.of_trace trace in
+  let s = Timeline.to_string tl in
+  check_true "header row" (String.length s > 0);
+  (* Every node id appears; every node joined in round 1 and decided. *)
+  List.iter
+    (fun id ->
+      let needle = Fmt.str "%a" Node_id.pp id in
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+        go 0
+      in
+      check_true "node row present" (contains s needle))
+    ids;
+  let lines = String.split_on_char '\n' s in
+  check_int "header + n rows + trailing newline" (4 + 2) (List.length lines);
+  (* decided marker on every node row *)
+  List.iteri
+    (fun i line ->
+      if i > 0 && String.trim line <> "" then
+        check_true "D marker" (String.contains line 'D'))
+    lines
+
+let test_truncation () =
+  let trace, _, _ = traced_run () in
+  let tl = Timeline.of_trace trace in
+  let s = Timeline.to_string ~max_rounds:3 tl in
+  check_true "ellipsis column"
+    (String.split_on_char '\n' s
+    |> List.hd
+    |> fun h ->
+    String.length h >= 3 && String.sub h (String.length h - 3) 3 = "...")
+
+let test_empty () =
+  let tl = Timeline.of_trace Trace.disabled in
+  check_int "no rounds" 0 (Timeline.rounds tl);
+  Alcotest.(check string) "empty banner" "(empty timeline)\n" (Timeline.to_string tl)
+
+let suite =
+  ( "timeline",
+    [
+      quick "dimensions match the run" test_dimensions;
+      quick "rendering contains every node and decision" test_rendering;
+      quick "wide executions are truncated" test_truncation;
+      quick "empty trace" test_empty;
+    ] )

@@ -1,0 +1,142 @@
+open Ubpa_scenarios
+open Helpers
+module T = Scenarios.Total_order_str
+
+let test_static_prefix_and_growth () =
+  let s = T.run ~n_genesis:4 ~rounds:8 ~events_per_round:1 () in
+  check_true "chain-prefix" s.T.prefix_consistent;
+  check_true "chain-growth: events got ordered"
+    (List.exists (fun l -> l > 0) s.T.chain_lengths)
+
+let test_all_events_eventually_ordered () =
+  let s = T.run ~n_genesis:4 ~rounds:6 ~events_per_round:1 () in
+  (* After the drain, every submitted event should appear in the longest
+     chain (submissions happen once per round by one correct node). *)
+  let longest = List.fold_left max 0 s.T.chain_lengths in
+  check_true
+    (Printf.sprintf "ordered %d of %d submitted" longest s.T.events_submitted)
+    (longest >= s.T.events_submitted - 1)
+
+let test_identical_final_chains () =
+  let s = T.run ~n_genesis:4 ~rounds:5 ~events_per_round:1 () in
+  match s.T.chains with
+  | [] -> Alcotest.fail "no chains"
+  | (_, first) :: rest ->
+      List.iter
+        (fun (_, o) ->
+          check_true "same frontier ±1 chain prefix"
+            (o.T.P.chain = first.T.P.chain
+            || List.length o.T.P.chain <> List.length first.T.P.chain))
+        rest
+
+let test_multiple_events_per_round () =
+  let s = T.run ~n_genesis:5 ~rounds:6 ~events_per_round:3 () in
+  check_true "prefix holds with parallel events" s.T.prefix_consistent;
+  check_true "many events ordered"
+    (List.exists (fun l -> l >= 6) s.T.chain_lengths)
+
+let test_with_silent_byz () =
+  let s =
+    T.run
+      ~byz:[ Ubpa_sim.Strategy.silent ]
+      ~n_genesis:4 ~rounds:6 ~events_per_round:1 ()
+  in
+  check_true "prefix under silent byz" s.T.prefix_consistent;
+  check_true "growth under silent byz"
+    (List.exists (fun l -> l > 0) s.T.chain_lengths)
+
+let test_join_mid_run () =
+  let churn = { T.join_at = [ (4, 1) ]; leave_at = [] } in
+  let s = T.run ~churn ~n_genesis:4 ~rounds:10 ~events_per_round:1 () in
+  check_true "prefix with a joiner" s.T.prefix_consistent;
+  check_int "five chains collected" 5 (List.length s.T.chains)
+
+let test_leave_mid_run () =
+  let churn = { T.join_at = []; leave_at = [ (6, 1) ] } in
+  let s = T.run ~churn ~n_genesis:5 ~rounds:10 ~events_per_round:1 () in
+  check_true "prefix with a leaver" s.T.prefix_consistent
+
+let test_churn_both_ways () =
+  let churn = { T.join_at = [ (5, 1); (8, 1) ]; leave_at = [ (9, 1) ] } in
+  let s = T.run ~churn ~n_genesis:5 ~rounds:12 ~events_per_round:1 () in
+  check_true "prefix under churn" s.T.prefix_consistent
+
+let test_no_events_empty_chains () =
+  let s = T.run ~n_genesis:4 ~rounds:5 ~events_per_round:0 () in
+  check_true "prefix trivially" s.T.prefix_consistent;
+  List.iter (fun l -> check_int "empty chain" 0 l) s.T.chain_lengths
+
+
+module To_attacks = Ubpa_adversary.To_attacks.Make (Unknown_ba.Value.String)
+
+let test_ack_liar () =
+  (* Joiners adopt the plurality round; f liars cannot outvote g honest
+     answers, so joins and chains stay consistent. *)
+  let churn = { T.join_at = [ (5, 1) ]; leave_at = [] } in
+  let s =
+    T.run
+      ~byz:[ To_attacks.ack_liar ~offset:7 ]
+      ~churn ~n_genesis:4 ~rounds:10 ~events_per_round:1 ()
+  in
+  check_true "prefix under ack lies" s.T.prefix_consistent;
+  check_int "joiner produced a chain" 5 (List.length s.T.chains)
+
+let test_event_forger () =
+  let s =
+    T.run
+      ~byz:[ To_attacks.event_forger "byz-tx" ]
+      ~n_genesis:4 ~rounds:8 ~events_per_round:1 ()
+  in
+  check_true "prefix under forged events" s.T.prefix_consistent;
+  check_true "correct events still ordered"
+    (List.exists (fun l -> l > 0) s.T.chain_lengths)
+
+let test_phantom_present () =
+  let s =
+    T.run
+      ~byz:[ To_attacks.phantom_present ]
+      ~n_genesis:5 ~rounds:8 ~events_per_round:1 ()
+  in
+  check_true "prefix despite divergent membership views" s.T.prefix_consistent
+
+let test_absent_flipper () =
+  let s =
+    T.run
+      ~byz:[ To_attacks.absent_flipper ]
+      ~n_genesis:5 ~rounds:10 ~events_per_round:1 ()
+  in
+  check_true "prefix under membership churn attack" s.T.prefix_consistent;
+  check_true "growth under membership churn attack"
+    (List.exists (fun l -> l > 0) s.T.chain_lengths)
+
+let test_group_splitter () =
+  (* The strongest attack on the ordering layer: equivocation inside the
+     consensus groups themselves. Chain-prefix must survive. *)
+  let s =
+    T.run
+      ~byz:[ To_attacks.group_splitter ]
+      ~n_genesis:5 ~rounds:8 ~events_per_round:1 ()
+  in
+  check_true "prefix under in-group equivocation" s.T.prefix_consistent;
+  check_true "events still ordered"
+    (List.exists (fun l -> l > 0) s.T.chain_lengths)
+
+let suite =
+  ( "total-order",
+    [
+      slow "chain-prefix and chain-growth (static set)"
+        test_static_prefix_and_growth;
+      slow "all submitted events get ordered" test_all_events_eventually_ordered;
+      slow "final chains agree" test_identical_final_chains;
+      slow "multiple events per round" test_multiple_events_per_round;
+      slow "silent byzantine participant" test_with_silent_byz;
+      slow "node joins mid-run" test_join_mid_run;
+      slow "node leaves mid-run" test_leave_mid_run;
+      slow "join and leave churn" test_churn_both_ways;
+      slow "no events: chains stay empty" test_no_events_empty_chains;
+      slow "byzantine ack lies to joiners" test_ack_liar;
+      slow "byzantine event forging" test_event_forger;
+      slow "phantom present splits membership views" test_phantom_present;
+      slow "byzantine present/absent flapping" test_absent_flipper;
+      slow "equivocation inside consensus groups" test_group_splitter;
+    ] )

@@ -1,0 +1,73 @@
+open Ubpa_sim
+open Ubpa_scenarios
+open Helpers
+module T = Scenarios.Trb_str
+
+let test_correct_sender () =
+  let s = T.run ~n_correct:4 ~payload:"broadcast-me" () in
+  check_true "terminated" s.T.all_terminated;
+  check_true "agreed" s.T.agreed;
+  List.iter
+    (fun (_, o) ->
+      Alcotest.(check (option string)) "payload delivered" (Some "broadcast-me") o)
+    s.T.outputs
+
+let test_correct_sender_with_byz () =
+  let s =
+    T.run
+      ~byz:[ Strategy.silent; Strategy.silent ]
+      ~n_correct:7 ~payload:"p" ()
+  in
+  check_true "agreed" (s.T.agreed && s.T.all_terminated);
+  List.iter
+    (fun (_, o) -> Alcotest.(check (option string)) "payload" (Some "p") o)
+    s.T.outputs
+
+let test_silent_byz_sender () =
+  (* The designated sender is byzantine and silent: all correct nodes must
+     agree on the empty opinion. *)
+  let s =
+    T.run ~byz:[ Strategy.silent ] ~byz_sender:true ~n_correct:4 ~payload:"x" ()
+  in
+  check_true "terminated" s.T.all_terminated;
+  check_true "agreed" s.T.agreed;
+  List.iter
+    (fun (_, o) -> Alcotest.(check (option string)) "empty opinion" None o)
+    s.T.outputs
+
+let test_equivocating_byz_sender () =
+  (* The sender hands different payloads to different nodes; consensus must
+     still drive everyone to a single common output. *)
+  let module P = T.P in
+  let equivocator =
+    Strategy.v ~name:"trb-equivocator" (fun _ _ view ->
+        if view.Strategy.round = 1 then
+          let correct = view.Strategy.correct in
+          let half = List.length correct / 2 in
+          List.mapi
+            (fun i t ->
+              let m = if i < half then "red" else "blue" in
+              (Ubpa_sim.Envelope.To t, P.Trb_payload m))
+            correct
+        else [])
+  in
+  let s = T.run ~byz:[ equivocator ] ~byz_sender:true ~n_correct:7 ~payload:"red" () in
+  check_true "terminated" s.T.all_terminated;
+  check_true "agreed on one of the faces (or none)" s.T.agreed
+
+let test_rounds_o_f () =
+  let s = T.run ~byz:[ Strategy.silent ] ~n_correct:4 ~payload:"q" () in
+  check_true "terminates quickly" (s.T.rounds <= 25)
+
+let suite =
+  ( "terminating-reliable-broadcast",
+    [
+      quick "correct sender: payload delivered everywhere" test_correct_sender;
+      quick "correct sender with byzantine bystanders"
+        test_correct_sender_with_byz;
+      quick "silent byzantine sender: common empty output"
+        test_silent_byz_sender;
+      quick "equivocating byzantine sender: common output"
+        test_equivocating_byz_sender;
+      quick "O(f) rounds" test_rounds_o_f;
+    ] )
