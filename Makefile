@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast examples clean
+.PHONY: all build test bench bench-fast bench-csv bench-json bench-check \
+	fmt fmt-check examples clean
 
 all: build
 
@@ -18,6 +19,22 @@ bench-fast:
 
 bench-csv:
 	dune exec bench/main.exe -- --csv results/
+
+# Machine-readable artifacts: one BENCH_<exp>.json per experiment, each
+# carrying the table, timing, seeds, and pass/fail paper claims.
+bench-json:
+	dune exec bench/main.exe -- --json results/json/
+
+# What CI runs: fast sweeps + the self-checking claim gate.
+bench-check:
+	dune exec bench/main.exe -- --fast --no-timing --json results/json-fast/
+	dune exec bin/bench_diff.exe -- --check-claims results/json-fast/
+
+fmt:
+	dune build @fmt --auto-promote
+
+fmt-check:
+	dune build @fmt
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1,0 +1,231 @@
+open Ubpa_util
+
+let schema_version = "ubpa-bench/1"
+
+type status = Pass | Fail
+
+type claim = { cid : string; description : string; status : status }
+
+type t = {
+  experiment : string;
+  title : string;
+  fast : bool;
+  seeds : int list;
+  elapsed_ms : float;
+  columns : string list;
+  rows : string list list;
+  claims : claim list;
+  metrics : (string * float) list;
+}
+
+let status_to_string = function Pass -> "pass" | Fail -> "fail"
+
+let status_of_string = function
+  | "pass" -> Some Pass
+  | "fail" -> Some Fail
+  | _ -> None
+
+let derive_metrics ~columns ~rows =
+  List.concat
+    (List.mapi
+       (fun i col ->
+         let cells = List.filter_map (fun row -> List.nth_opt row i) rows in
+         let nums = List.filter_map float_of_string_opt cells in
+         if nums = [] || List.length nums <> List.length cells then []
+         else
+           [
+             (col ^ ":sum", List.fold_left ( +. ) 0. nums);
+             (col ^ ":max", List.fold_left Float.max neg_infinity nums);
+           ])
+       columns)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let claim_to_json c : Json.t =
+  `Assoc
+    [
+      ("id", `String c.cid);
+      ("description", `String c.description);
+      ("status", `String (status_to_string c.status));
+    ]
+
+let to_json t : Json.t =
+  `Assoc
+    [
+      ("schema", `String schema_version);
+      ("experiment", `String t.experiment);
+      ("title", `String t.title);
+      ("fast", `Bool t.fast);
+      ("seeds", `List (List.map (fun s -> `Int s) t.seeds));
+      ("elapsed_ms", `Float t.elapsed_ms);
+      ( "table",
+        `Assoc
+          [
+            ("columns", `List (List.map (fun c -> `String c) t.columns));
+            ( "rows",
+              `List
+                (List.map
+                   (fun row -> `List (List.map (fun c -> `String c) row))
+                   t.rows) );
+          ] );
+      ("claims", `List (List.map claim_to_json t.claims));
+      ("metrics", `Assoc (List.map (fun (k, v) -> (k, `Float v)) t.metrics));
+    ]
+
+let ( let* ) = Result.bind
+
+let string_field name j =
+  match Option.bind (Json.member name j) Json.to_string_opt with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "artifact: missing string field %S" name)
+
+let string_list j =
+  match Json.to_list j with
+  | None -> Error "artifact: expected a list"
+  | Some items -> (
+      let strs = List.filter_map Json.to_string_opt items in
+      match List.length strs = List.length items with
+      | true -> Ok strs
+      | false -> Error "artifact: expected a list of strings")
+
+let claim_of_json j =
+  let* cid = string_field "id" j in
+  let* description = string_field "description" j in
+  let* status = string_field "status" j in
+  match status_of_string status with
+  | Some status -> Ok { cid; description; status }
+  | None -> Error (Printf.sprintf "artifact: bad claim status %S" status)
+
+let of_json j =
+  let* schema = string_field "schema" j in
+  if schema <> schema_version then
+    Error (Printf.sprintf "artifact: unsupported schema %S" schema)
+  else
+    let* experiment = string_field "experiment" j in
+    let* title = string_field "title" j in
+    let* fast =
+      match Option.bind (Json.member "fast" j) Json.to_bool with
+      | Some b -> Ok b
+      | None -> Error "artifact: missing bool field \"fast\""
+    in
+    let seeds =
+      match Option.bind (Json.member "seeds" j) Json.to_list with
+      | Some items -> List.filter_map Json.to_int items
+      | None -> []
+    in
+    let* elapsed_ms =
+      match Option.bind (Json.member "elapsed_ms" j) Json.to_float with
+      | Some f -> Ok f
+      | None -> Error "artifact: missing float field \"elapsed_ms\""
+    in
+    let* table =
+      match Json.member "table" j with
+      | Some t -> Ok t
+      | None -> Error "artifact: missing \"table\""
+    in
+    let* columns =
+      match Json.member "columns" table with
+      | Some c -> string_list c
+      | None -> Error "artifact: missing \"table.columns\""
+    in
+    let* rows =
+      match Option.bind (Json.member "rows" table) Json.to_list with
+      | None -> Error "artifact: missing \"table.rows\""
+      | Some items ->
+          List.fold_left
+            (fun acc row ->
+              let* acc = acc in
+              let* row = string_list row in
+              Ok (row :: acc))
+            (Ok []) items
+          |> Result.map List.rev
+    in
+    let* claims =
+      match Option.bind (Json.member "claims" j) Json.to_list with
+      | None -> Error "artifact: missing \"claims\""
+      | Some items ->
+          List.fold_left
+            (fun acc c ->
+              let* acc = acc in
+              let* c = claim_of_json c in
+              Ok (c :: acc))
+            (Ok []) items
+          |> Result.map List.rev
+    in
+    let metrics =
+      match Json.member "metrics" j with
+      | Some (`Assoc fields) ->
+          List.filter_map
+            (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float v))
+            fields
+      | _ -> []
+    in
+    Ok
+      {
+        experiment;
+        title;
+        fast;
+        seeds;
+        elapsed_ms;
+        columns;
+        rows;
+        claims;
+        metrics;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let filename experiment = "BENCH_" ^ experiment ^ ".json"
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let write ~dir t =
+  mkdir_p dir;
+  let path = Filename.concat dir (filename t.experiment) in
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json t));
+  output_string oc "\n";
+  close_out oc;
+  path
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+      let* j = Json.of_string contents in
+      Result.map_error
+        (fun msg -> Printf.sprintf "%s: %s" path msg)
+        (of_json j)
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Printf.sprintf "%s: not a directory" dir)
+  else
+    let is_artifact name =
+      String.length name > String.length "BENCH_.json"
+      && String.sub name 0 6 = "BENCH_"
+      && Filename.check_suffix name ".json"
+    in
+    let files =
+      Sys.readdir dir |> Array.to_list |> List.filter is_artifact
+      |> List.sort compare
+    in
+    let* artifacts =
+      List.fold_left
+        (fun acc name ->
+          let* acc = acc in
+          let* a = load (Filename.concat dir name) in
+          Ok (a :: acc))
+        (Ok []) files
+    in
+    Ok (List.sort (fun a b -> compare a.experiment b.experiment) artifacts)

@@ -1,0 +1,62 @@
+(** Machine-readable benchmark artifacts.
+
+    One artifact corresponds to one experiment of the bench suite
+    (E1–E13, A1–A4): the table it printed, how long it took, the seeds it
+    used, and — the part that keeps the reproduction honest — a [claims]
+    block in which every paper-derived bound the experiment exercises is
+    evaluated to pass/fail. Artifacts are written as [BENCH_<id>.json]
+    files and diffed across commits by {!Diff} / [bench_diff]. *)
+
+open Ubpa_util
+
+val schema_version : string
+(** Currently ["ubpa-bench/1"]; bumped on incompatible schema changes. *)
+
+type status = Pass | Fail
+
+type claim = {
+  cid : string;  (** Stable identifier, e.g. ["E3.round-bound"]. *)
+  description : string;  (** The bound being checked, human-readable. *)
+  status : status;
+}
+
+type t = {
+  experiment : string;  (** "E1" … "A4". *)
+  title : string;
+  fast : bool;  (** Whether the sweep was shrunk with [--fast]. *)
+  seeds : int list;
+  elapsed_ms : float;  (** Wall-clock time of the experiment function. *)
+  columns : string list;
+  rows : string list list;
+  claims : claim list;
+  metrics : (string * float) list;
+      (** Derived scalar metrics, e.g. [("msgs:sum", 1234.)]; the
+          regression gate compares these across artifact directories. *)
+}
+
+val derive_metrics :
+  columns:string list -> rows:string list list -> (string * float) list
+(** For every column whose cells are all numeric, the [<col>:sum] and
+    [<col>:max] scalars. Column order is preserved. *)
+
+(** {2 Serialization} *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+(** {2 Filesystem} *)
+
+val filename : string -> string
+(** [filename "E1"] is ["BENCH_E1.json"]. *)
+
+val mkdir_p : string -> unit
+(** Recursive [mkdir]; a no-op for existing directories. *)
+
+val write : dir:string -> t -> string
+(** Serialize into [dir] (created recursively); returns the path. *)
+
+val load : string -> (t, string) result
+
+val load_dir : string -> (t list, string) result
+(** All [BENCH_*.json] files in a directory, sorted by experiment id.
+    Errors on an unreadable/invalid file or a missing directory. *)

@@ -1,0 +1,168 @@
+type severity = Info | Failure
+
+type issue = { experiment : string; severity : severity; message : string }
+
+let failures issues = List.filter (fun i -> i.severity = Failure) issues
+
+let pp_issue ppf i =
+  Format.fprintf ppf "[%s] %s: %s"
+    (match i.severity with Info -> "info" | Failure -> "FAIL")
+    i.experiment i.message
+
+let check_claims (artifacts : Artifact.t list) =
+  List.concat_map
+    (fun (a : Artifact.t) ->
+      if a.claims = [] then
+        [
+          {
+            experiment = a.experiment;
+            severity = Info;
+            message = "no machine-checked claims";
+          };
+        ]
+      else
+        List.filter_map
+          (fun (c : Artifact.claim) ->
+            match c.status with
+            | Artifact.Pass -> None
+            | Artifact.Fail ->
+                Some
+                  {
+                    experiment = a.experiment;
+                    severity = Failure;
+                    message =
+                      Printf.sprintf "claim %s failed: %s" c.cid c.description;
+                  })
+          a.claims)
+    artifacts
+
+let pct_growth ~baseline ~candidate =
+  if baseline = 0. then if candidate = 0. then 0. else infinity
+  else (candidate -. baseline) /. Float.abs baseline *. 100.
+
+let compare_metric ~experiment ~threshold name ~baseline ~candidate =
+  let growth = pct_growth ~baseline ~candidate in
+  if growth > threshold then
+    Some
+      {
+        experiment;
+        severity = Failure;
+        message =
+          Printf.sprintf "%s regressed %.1f%% (%g -> %g, budget %.1f%%)" name
+            growth baseline candidate threshold;
+      }
+  else None
+
+let compare_pair ~threshold ~time_threshold (base : Artifact.t)
+    (cand : Artifact.t) =
+  let experiment = cand.experiment in
+  let claim_regressions =
+    List.filter_map
+      (fun (bc : Artifact.claim) ->
+        match
+          List.find_opt
+            (fun (cc : Artifact.claim) -> cc.cid = bc.cid)
+            cand.claims
+        with
+        | None ->
+            Some
+              {
+                experiment;
+                severity = Failure;
+                message = Printf.sprintf "claim %s disappeared" bc.cid;
+              }
+        | Some cc
+          when bc.status = Artifact.Pass && cc.status = Artifact.Fail ->
+            Some
+              {
+                experiment;
+                severity = Failure;
+                message =
+                  Printf.sprintf "claim %s regressed pass -> fail: %s" bc.cid
+                    cc.description;
+              }
+        | Some _ -> None)
+      base.claims
+  in
+  let comparable =
+    base.fast = cand.fast && List.length base.rows = List.length cand.rows
+  in
+  let metric_issues =
+    if not comparable then
+      [
+        {
+          experiment;
+          severity = Info;
+          message =
+            "sweeps differ (fast flag or row count); metric comparison skipped";
+        };
+      ]
+    else
+      List.filter_map
+        (fun (name, candidate) ->
+          match List.assoc_opt name base.metrics with
+          | None -> None
+          | Some baseline ->
+              compare_metric ~experiment ~threshold name ~baseline ~candidate)
+        cand.metrics
+  in
+  let time_issues =
+    match time_threshold with
+    | None -> []
+    | Some t when comparable ->
+        Option.to_list
+          (compare_metric ~experiment ~threshold:t "elapsed_ms"
+             ~baseline:base.elapsed_ms ~candidate:cand.elapsed_ms)
+    | Some _ -> []
+  in
+  claim_regressions @ metric_issues @ time_issues
+
+let compare ?(threshold = 10.) ?time_threshold ~(baseline : Artifact.t list)
+    ~(candidate : Artifact.t list) () =
+  let missing =
+    List.filter_map
+      (fun (b : Artifact.t) ->
+        if
+          List.exists
+            (fun (c : Artifact.t) -> c.experiment = b.experiment)
+            candidate
+        then None
+        else
+          Some
+            {
+              experiment = b.experiment;
+              severity = Failure;
+              message = "experiment missing from candidate artifacts";
+            })
+      baseline
+  in
+  let new_ones =
+    List.filter_map
+      (fun (c : Artifact.t) ->
+        if
+          List.exists
+            (fun (b : Artifact.t) -> b.experiment = c.experiment)
+            baseline
+        then None
+        else
+          Some
+            {
+              experiment = c.experiment;
+              severity = Info;
+              message = "new experiment (no baseline)";
+            })
+      candidate
+  in
+  let pairwise =
+    List.concat_map
+      (fun (c : Artifact.t) ->
+        match
+          List.find_opt
+            (fun (b : Artifact.t) -> b.experiment = c.experiment)
+            baseline
+        with
+        | None -> []
+        | Some b -> compare_pair ~threshold ~time_threshold b c)
+      candidate
+  in
+  missing @ new_ones @ pairwise @ check_claims candidate

@@ -1,0 +1,40 @@
+(** The regression gate: compare two benchmark artifact sets.
+
+    Two checks feed CI:
+
+    - {!check_claims} — every claim in every artifact must be [Pass];
+      this is the self-checking part (the paper's bounds, re-evaluated on
+      every run).
+    - {!compare} — candidate artifacts against a baseline directory:
+      fails on claim regressions (pass → fail), on missing experiments,
+      and on deterministic derived metrics (message counts, round
+      counts, …) that grew beyond a relative threshold. Wall-clock time
+      is only gated when an explicit [time_threshold] is supplied, since
+      timing is noisy on shared CI runners. *)
+
+type severity = Info | Failure
+
+type issue = { experiment : string; severity : severity; message : string }
+
+val failures : issue list -> issue list
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check_claims : Artifact.t list -> issue list
+(** One [Failure] per failed claim; one [Info] per artifact with an
+    empty claims block (an experiment without machine-checked claims is
+    suspicious but not fatal). *)
+
+val compare :
+  ?threshold:float ->
+  ?time_threshold:float ->
+  baseline:Artifact.t list ->
+  candidate:Artifact.t list ->
+  unit ->
+  issue list
+(** [threshold] (percent, default [10.]) bounds the allowed relative
+    growth of each shared derived metric. Metrics are only compared when
+    the two artifacts ran the same sweep ([fast] flag and row count
+    match); otherwise an [Info] issue notes the skip. [time_threshold]
+    (percent) additionally gates [elapsed_ms]. Claims of the candidate
+    are checked unconditionally. *)

@@ -1,9 +1,13 @@
+open Ubpa_util
+
 type t = {
   mutable rounds : int;
   mutable sends_correct : int;
   mutable sends_byzantine : int;
   mutable delivered : int;
   mutable per_round : (int * int) list; (* reversed *)
+  mutable round_times : (int * float) list; (* reversed, ms *)
+  mutable elapsed_ms : float;
   by_kind : (string, int) Hashtbl.t;
 }
 
@@ -14,6 +18,8 @@ let create () =
     sends_byzantine = 0;
     delivered = 0;
     per_round = [];
+    round_times = [];
+    elapsed_ms = 0.;
     by_kind = Hashtbl.create 8;
   }
 
@@ -22,6 +28,8 @@ let sends_correct t = t.sends_correct
 let sends_byzantine t = t.sends_byzantine
 let delivered t = t.delivered
 let delivered_per_round t = List.rev t.per_round
+let elapsed_ms t = t.elapsed_ms
+let round_times_ms t = List.rev t.round_times
 let tick_round t = t.rounds <- t.rounds + 1
 
 let record_send t ~byzantine =
@@ -42,6 +50,91 @@ let record_delivered t ~round n =
   | (r, c) :: rest when r = round -> t.per_round <- (r, c + n) :: rest
   | _ -> t.per_round <- (round, n) :: t.per_round
 
+let record_round_time t ~round ms =
+  t.elapsed_ms <- t.elapsed_ms +. ms;
+  match t.round_times with
+  | (r, acc) :: rest when r = round -> t.round_times <- (r, acc +. ms) :: rest
+  | _ -> t.round_times <- (round, ms) :: t.round_times
+
 let pp ppf t =
   Format.fprintf ppf "rounds=%d sends(correct=%d byz=%d) delivered=%d"
     t.rounds t.sends_correct t.sends_byzantine t.delivered
+
+let to_json t : Json.t =
+  `Assoc
+    [
+      ("rounds", `Int t.rounds);
+      ("sends_correct", `Int t.sends_correct);
+      ("sends_byzantine", `Int t.sends_byzantine);
+      ("delivered", `Int t.delivered);
+      ("elapsed_ms", `Float t.elapsed_ms);
+      ( "delivered_per_round",
+        `List
+          (List.map
+             (fun (r, c) -> `List [ `Int r; `Int c ])
+             (delivered_per_round t)) );
+      ( "round_times_ms",
+        `List
+          (List.map
+             (fun (r, ms) -> `List [ `Int r; `Float ms ])
+             (round_times_ms t)) );
+      ("kinds", `Assoc (List.map (fun (k, v) -> (k, `Int v)) (kinds t)));
+    ]
+
+let of_json (j : Json.t) =
+  let ( let* ) r f = Result.bind r f in
+  let int_field name =
+    match Option.bind (Json.member name j) Json.to_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Metrics.of_json: missing int %S" name)
+  in
+  let float_field name =
+    match Option.bind (Json.member name j) Json.to_float with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Metrics.of_json: missing float %S" name)
+  in
+  let pair_list name of_snd =
+    match Option.bind (Json.member name j) Json.to_list with
+    | None -> Error (Printf.sprintf "Metrics.of_json: missing list %S" name)
+    | Some items ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match Json.to_list item with
+            | Some [ r; v ] -> (
+                match (Json.to_int r, of_snd v) with
+                | Some r, Some v -> Ok ((r, v) :: acc)
+                | _ ->
+                    Error (Printf.sprintf "Metrics.of_json: bad %S row" name))
+            | _ -> Error (Printf.sprintf "Metrics.of_json: bad %S row" name))
+          (Ok []) items
+        |> Result.map List.rev
+  in
+  let* rounds = int_field "rounds" in
+  let* sends_correct = int_field "sends_correct" in
+  let* sends_byzantine = int_field "sends_byzantine" in
+  let* delivered = int_field "delivered" in
+  let* elapsed_ms = float_field "elapsed_ms" in
+  let* per_round = pair_list "delivered_per_round" Json.to_int in
+  let* round_times = pair_list "round_times_ms" Json.to_float in
+  let by_kind = Hashtbl.create 8 in
+  (match Json.member "kinds" j with
+  | Some (`Assoc fields) ->
+      List.iter
+        (fun (k, v) ->
+          match Json.to_int v with
+          | Some c -> Hashtbl.replace by_kind k c
+          | None -> ())
+        fields
+  | _ -> ());
+  Ok
+    {
+      rounds;
+      sends_correct;
+      sends_byzantine;
+      delivered;
+      per_round = List.rev per_round;
+      round_times = List.rev round_times;
+      elapsed_ms;
+      by_kind;
+    }

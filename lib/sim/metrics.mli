@@ -1,9 +1,15 @@
-(** Run metrics: rounds executed and message complexity.
+(** Run metrics: rounds executed, message complexity, and wall-clock time.
 
     Messages are counted in two ways: [sends] counts send operations (one
     per broadcast instruction), [delivered] counts point-to-point deliveries
     (a broadcast to [k] present nodes contributes [k]). Message-complexity
-    tables use [delivered], matching the convention of the classic papers. *)
+    tables use [delivered], matching the convention of the classic papers.
+
+    The engine additionally records how long each round took on the wall
+    clock, so benchmark artifacts can track the perf trajectory of the
+    simulator itself. *)
+
+open Ubpa_util
 
 type t
 
@@ -19,6 +25,12 @@ val kinds : t -> (string * int) list
 (** Per-message-kind send counts, sorted by kind; populated only when the
     engine was created with a [classify] function. *)
 
+val elapsed_ms : t -> float
+(** Total wall-clock milliseconds spent executing rounds. *)
+
+val round_times_ms : t -> (int * float) list
+(** [(round, wall-clock-ms)] rows, ascending. *)
+
 (** Engine-side recording. *)
 
 val tick_round : t -> unit
@@ -26,4 +38,16 @@ val record_send : t -> byzantine:bool -> unit
 val record_kind : t -> string -> unit
 val record_delivered : t -> round:int -> int -> unit
 
+val record_round_time : t -> round:int -> float -> unit
+(** Wall-clock milliseconds the given round took. *)
+
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+(** Stable schema:
+    [{"rounds", "sends_correct", "sends_byzantine", "delivered",
+      "elapsed_ms", "delivered_per_round": [[round, count], ...],
+      "round_times_ms": [[round, ms], ...], "kinds": {kind: count}}]. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}; used by artifact tooling and tests. *)

@@ -85,7 +85,8 @@ module Make (P : Protocol.S) = struct
         | Join_correct (id, input) ->
             if Node_id.Map.mem id t.correct || Node_id.Map.mem id t.byzantine
             then invalid_arg "Network: joining identifier already present";
-            Trace.recordf t.tr ~round:t.round ~node:id "join (correct)";
+            Trace.recordf t.tr ~round:t.round ~node:id ~kind:Trace.Join
+              "join (correct)";
             t.correct <-
               Node_id.Map.add id
                 {
@@ -100,15 +101,16 @@ module Make (P : Protocol.S) = struct
         | Join_byzantine (id, strat) ->
             if Node_id.Map.mem id t.correct || Node_id.Map.mem id t.byzantine
             then invalid_arg "Network: joining identifier already present";
-            Trace.recordf t.tr ~round:t.round ~node:id "join (byzantine %s)"
-              (Strategy.name strat);
+            Trace.recordf t.tr ~round:t.round ~node:id ~kind:Trace.Join
+              "join (byzantine %s)" (Strategy.name strat);
             let act = Strategy.instantiate strat (Rng.split t.rng) id in
             t.byzantine <- Node_id.Map.add id { b_id = id; b_act = act } t.byzantine)
       (List.rev t.queued_joins);
     t.queued_joins <- [];
     Node_id.Set.iter
       (fun id ->
-        Trace.recordf t.tr ~round:t.round ~node:id "leave (byzantine)";
+        Trace.recordf t.tr ~round:t.round ~node:id ~kind:Trace.Leave
+          "leave (byzantine)";
         t.byzantine <- Node_id.Map.remove id t.byzantine)
       t.queued_removals;
     t.queued_removals <- Node_id.Set.empty
@@ -163,7 +165,7 @@ module Make (P : Protocol.S) = struct
         List.sort (fun (a, _) (b, _) -> Node_id.compare a b) (List.rev !box))
       inboxes
 
-  let step_round t =
+  let step_round_untimed t =
     t.round <- t.round + 1;
     Metrics.tick_round t.metrics;
     apply_membership t;
@@ -194,8 +196,8 @@ module Make (P : Protocol.S) = struct
             | None -> ());
             let env = { Envelope.src = n.c_id; dst; payload } in
             if Trace.enabled t.tr then
-              Trace.recordf t.tr ~round:t.round ~node:n.c_id "send %a"
-                (Envelope.pp P.pp_message) env;
+              Trace.recordf t.tr ~round:t.round ~node:n.c_id ~kind:Trace.Send
+                "send %a" (Envelope.pp P.pp_message) env;
             correct_sends := env :: !correct_sends)
           sends;
         (match status with
@@ -204,13 +206,15 @@ module Make (P : Protocol.S) = struct
             if n.c_first_output_round = None then
               n.c_first_output_round <- Some t.round;
             n.c_last_output <- Some out;
-            Trace.recordf t.tr ~round:t.round ~node:n.c_id "output"
+            Trace.recordf t.tr ~round:t.round ~node:n.c_id ~kind:Trace.Output
+              "output"
         | Protocol.Stop out ->
             if n.c_first_output_round = None then
               n.c_first_output_round <- Some t.round;
             n.c_last_output <- Some out;
             n.c_halted_at <- Some t.round;
-            Trace.recordf t.tr ~round:t.round ~node:n.c_id "halt"))
+            Trace.recordf t.tr ~round:t.round ~node:n.c_id ~kind:Trace.Halt
+              "halt"))
       (active_correct_nodes t);
     let rushing_view =
       if t.rushing then
@@ -239,12 +243,19 @@ module Make (P : Protocol.S) = struct
             Metrics.record_send t.metrics ~byzantine:true;
             let env = { Envelope.src = b.b_id; dst; payload } in
             if Trace.enabled t.tr then
-              Trace.recordf t.tr ~round:t.round ~node:b.b_id "byz-send %a"
-                (Envelope.pp P.pp_message) env;
+              Trace.recordf t.tr ~round:t.round ~node:b.b_id
+                ~kind:Trace.Byz_send "byz-send %a" (Envelope.pp P.pp_message)
+                env;
             byz_sends := env :: !byz_sends)
           (b.b_act view))
       t.byzantine;
     t.pending <- !byz_sends @ !correct_sends
+
+  let step_round t =
+    let t0 = Unix.gettimeofday () in
+    step_round_untimed t;
+    Metrics.record_round_time t.metrics ~round:t.round
+      ((Unix.gettimeofday () -. t0) *. 1000.)
 
   let all_halted t =
     Node_id.Map.for_all (fun _ n -> n.c_halted_at <> None) t.correct

@@ -16,18 +16,6 @@ type t = {
 let fresh_cell () =
   { joined = false; sends = 0; byz_sends = 0; output = false; halted = false }
 
-let classify what =
-  let starts_with prefix =
-    String.length what >= String.length prefix
-    && String.sub what 0 (String.length prefix) = prefix
-  in
-  if starts_with "join" then `Join
-  else if starts_with "byz-send" then `Byz_send
-  else if starts_with "send" then `Send
-  else if what = "output" then `Output
-  else if what = "halt" then `Halt
-  else `Other
-
 let of_trace trace =
   let by_node : (Node_id.t, (int, cell) Hashtbl.t) Hashtbl.t =
     Hashtbl.create 16
@@ -55,13 +43,13 @@ let of_trace trace =
                 Hashtbl.add rows e.round c;
                 c
           in
-          (match classify e.what with
-          | `Join -> cell.joined <- true
-          | `Send -> cell.sends <- cell.sends + 1
-          | `Byz_send -> cell.byz_sends <- cell.byz_sends + 1
-          | `Output -> cell.output <- true
-          | `Halt -> cell.halted <- true
-          | `Other -> ()))
+          (match e.kind with
+          | Trace.Join -> cell.joined <- true
+          | Trace.Send -> cell.sends <- cell.sends + 1
+          | Trace.Byz_send -> cell.byz_sends <- cell.byz_sends + 1
+          | Trace.Output -> cell.output <- true
+          | Trace.Halt -> cell.halted <- true
+          | Trace.Leave | Trace.Engine -> ()))
     (Trace.events trace);
   let cells =
     Hashtbl.fold (fun node rows acc -> (node, rows) :: acc) by_node []

@@ -1,6 +1,27 @@
 open Ubpa_util
 
-type event = { round : int; node : Node_id.t option; what : string }
+type kind = Join | Leave | Send | Byz_send | Output | Halt | Engine
+
+let kind_to_string = function
+  | Join -> "join"
+  | Leave -> "leave"
+  | Send -> "send"
+  | Byz_send -> "byz-send"
+  | Output -> "output"
+  | Halt -> "halt"
+  | Engine -> "engine"
+
+let kind_of_string = function
+  | "join" -> Some Join
+  | "leave" -> Some Leave
+  | "send" -> Some Send
+  | "byz-send" -> Some Byz_send
+  | "output" -> Some Output
+  | "halt" -> Some Halt
+  | "engine" -> Some Engine
+  | _ -> None
+
+type event = { round : int; node : Node_id.t option; kind : kind; what : string }
 type t = { enabled : bool; live : bool; mutable events : event list }
 
 let create ?(live = false) () = { enabled = true; live; events = [] }
@@ -13,17 +34,53 @@ let pp_event ppf e =
   in
   Fmt.pf ppf "[r%03d %a] %s" e.round pp_node e.node e.what
 
-let record t ~round ?node what =
+let record t ~round ?node ?(kind = Engine) what =
   if t.enabled then begin
-    let e = { round; node; what } in
+    let e = { round; node; kind; what } in
     t.events <- e :: t.events;
     if t.live then Fmt.epr "%a@." pp_event e
   end
 
-let recordf t ~round ?node fmt =
-  Format.kasprintf (fun s -> record t ~round ?node s) fmt
+let recordf t ~round ?node ?kind fmt =
+  Format.kasprintf (fun s -> record t ~round ?node ?kind s) fmt
 
 let enabled t = t.enabled
 let events t = List.rev t.events
 let find t ~f = List.find_opt f (events t)
 let pp ppf t = Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.cut pp_event) (events t)
+
+let event_to_json e : Json.t =
+  `Assoc
+    [
+      ("round", `Int e.round);
+      ( "node",
+        match e.node with
+        | None -> `Null
+        | Some id -> `Int (Node_id.to_int id) );
+      ("kind", `String (kind_to_string e.kind));
+      ("what", `String e.what);
+    ]
+
+let event_of_json j =
+  match
+    ( Option.bind (Json.member "round" j) Json.to_int,
+      Json.member "node" j,
+      Option.bind (Json.member "kind" j) Json.to_string_opt,
+      Option.bind (Json.member "what" j) Json.to_string_opt )
+  with
+  | Some round, Some node, Some kind, Some what -> (
+      let node =
+        match node with `Int i -> Some (Node_id.of_int i) | _ -> None
+      in
+      match kind_of_string kind with
+      | Some kind -> Ok { round; node; kind; what }
+      | None -> Error (Printf.sprintf "Trace.event_of_json: bad kind %S" kind))
+  | _ -> Error "Trace.event_of_json: missing field"
+
+let to_json t : Json.t = `List (List.map event_to_json (events t))
+
+let to_jsonl t =
+  String.concat ""
+    (List.map
+       (fun e -> Json.to_string ~pretty:false (event_to_json e) ^ "\n")
+       (events t))

@@ -1,14 +1,29 @@
 (** Structured execution traces.
 
     A trace records engine events (joins, sends, deliveries, decisions) so
-    tests and the CLI can inspect or pretty-print what happened. Disabled
-    traces are free. *)
+    tests, the CLI, and the bench pipeline can inspect, pretty-print, or
+    serialize what happened. Every event carries a typed {!kind} in
+    addition to its human-readable description, so consumers no longer
+    have to parse the description strings. Disabled traces are free. *)
 
 open Ubpa_util
+
+type kind =
+  | Join  (** A node joined (correct or Byzantine). *)
+  | Leave  (** The adversary withdrew a Byzantine node. *)
+  | Send  (** A correct node emitted an envelope. *)
+  | Byz_send  (** A Byzantine node emitted an envelope. *)
+  | Output  (** A correct node produced (non-final) output. *)
+  | Halt  (** A correct node halted with final output. *)
+  | Engine  (** Engine-level bookkeeping; also the default. *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
 
 type event = {
   round : int;
   node : Node_id.t option;  (** [None] for engine-level events. *)
+  kind : kind;
   what : string;
 }
 
@@ -20,9 +35,16 @@ val create : ?live:bool -> unit -> t
 val disabled : t
 (** A shared sink that records nothing. *)
 
-val record : t -> round:int -> ?node:Node_id.t -> string -> unit
+val record : t -> round:int -> ?node:Node_id.t -> ?kind:kind -> string -> unit
+(** [kind] defaults to [Engine]. *)
+
 val recordf :
-  t -> round:int -> ?node:Node_id.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+  t ->
+  round:int ->
+  ?node:Node_id.t ->
+  ?kind:kind ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
 
 val enabled : t -> bool
 (** False only for {!disabled}; lets hot paths skip formatting. *)
@@ -32,3 +54,15 @@ val events : t -> event list
 
 val find : t -> f:(event -> bool) -> event option
 val pp : Format.formatter -> t -> unit
+
+(** {2 Serialization} *)
+
+val event_to_json : event -> Json.t
+(** [{"round", "node" (or null), "kind", "what"}]. *)
+
+val event_of_json : Json.t -> (event, string) result
+val to_json : t -> Json.t
+
+val to_jsonl : t -> string
+(** One compact JSON object per line, in order of recording — the trace
+    interchange format written by [--trace-jsonl] style tooling. *)

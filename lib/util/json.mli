@@ -1,0 +1,51 @@
+(** Minimal JSON values: encoder, pretty-printer, and parser.
+
+    Implemented from scratch so the bench/trace pipeline adds no
+    dependencies. Covers the whole of RFC 8259 except that integers and
+    floating-point numbers are kept distinct on the OCaml side ([`Int]
+    vs [`Float]) so that counters round-trip exactly. *)
+
+type t =
+  [ `Null
+  | `Bool of bool
+  | `Int of int
+  | `Float of float
+  | `String of string
+  | `List of t list
+  | `Assoc of (string * t) list ]
+
+(** {2 Encoding} *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize. [pretty] (default [true]) indents with two spaces; the
+    compact form has no whitespace at all. Non-finite floats are encoded
+    as the strings ["nan"], ["inf"], ["-inf"] (JSON has no lexeme for
+    them; the parser maps these strings back only via {!to_float}). *)
+
+val escape_string : string -> string
+(** The quoted, escaped JSON form of a string literal. *)
+
+(** {2 Parsing} *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; the error string carries a byte
+    offset. Trailing whitespace is allowed, trailing garbage is not. *)
+
+val of_string_exn : string -> t
+(** Like {!of_string}; raises [Failure]. *)
+
+(** {2 Accessors}
+
+    Total accessors for digging into parsed documents; they return
+    [None] rather than raising on shape mismatches. *)
+
+val member : string -> t -> t option
+(** Field of an [`Assoc]. *)
+
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_float : t -> float option
+(** Accepts [`Int], [`Float], and the non-finite string encodings. *)
+
+val to_string_opt : t -> string option
+val to_bool : t -> bool option

@@ -18,6 +18,10 @@ let add_rowf t fmt =
     (fun s -> add_row t (String.split_on_char '|' s |> List.map String.trim))
     fmt
 
+let title t = t.title
+let columns t = t.columns
+let rows t = List.rev t.rows
+
 let widths t =
   let all = t.columns :: List.rev t.rows in
   let ncols = List.length t.columns in

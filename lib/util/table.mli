@@ -12,6 +12,12 @@ val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
 (** [add_rowf t fmt ...] formats a single string and splits it on ['|'] into
     cells — convenient for numeric rows. *)
 
+val title : t -> string
+val columns : t -> string list
+
+val rows : t -> string list list
+(** In insertion order. *)
+
 val print : t -> unit
 (** Render with aligned columns on stdout. *)
 

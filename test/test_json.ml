@@ -1,0 +1,93 @@
+(* The minimal JSON layer: encoding, parsing, round-trips. *)
+
+open Ubpa_util
+open Helpers
+
+let check_str = Alcotest.(check string)
+
+let sample : Json.t =
+  `Assoc
+    [
+      ("null", `Null);
+      ("bool", `Bool true);
+      ("int", `Int (-42));
+      ("float", `Float 1.5);
+      ("string", `String "line\n\"quoted\"\tand \\ slash");
+      ("list", `List [ `Int 1; `List []; `Assoc [] ]);
+      ("nested", `Assoc [ ("k", `List [ `Bool false; `Null ]) ]);
+    ]
+
+let test_roundtrip () =
+  List.iter
+    (fun pretty ->
+      let s = Json.to_string ~pretty sample in
+      match Json.of_string s with
+      | Ok v -> check_true "round-trip preserves the value" (v = sample)
+      | Error msg -> Alcotest.fail msg)
+    [ true; false ]
+
+let test_compact_has_no_whitespace () =
+  let s = Json.to_string ~pretty:false (`List [ `Int 1; `Bool true; `Null ]) in
+  check_str "compact form" "[1,true,null]" s
+
+let test_parse_literals () =
+  let p s = Json.of_string_exn s in
+  check_true "null" (p "null" = `Null);
+  check_true "ints" (p " [1, -2, 0] " = `List [ `Int 1; `Int (-2); `Int 0 ]);
+  check_true "floats are kept distinct from ints" (p "1.0" = `Float 1.0);
+  check_true "exponents" (p "2e3" = `Float 2000.);
+  check_true "escapes"
+    (p {|"aA\n"|} = `String "aA\n");
+  check_true "surrogate pair" (p {|"😀"|} = `String "\xf0\x9f\x98\x80")
+
+let test_parse_errors () =
+  let fails s =
+    match Json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  check_true "empty" (fails "");
+  check_true "trailing garbage" (fails "1 x");
+  check_true "unterminated string" (fails "\"abc");
+  check_true "bare word" (fails "nul");
+  check_true "missing colon" (fails "{\"a\" 1}");
+  check_true "unclosed list" (fails "[1, 2")
+
+let test_float_roundtrip () =
+  List.iter
+    (fun f ->
+      let s = Json.to_string ~pretty:false (`Float f) in
+      match Json.of_string_exn s with
+      | `Float f' -> check_true "float round-trips exactly" (f = f')
+      | `String _ -> check_true "non-finite encodes as string" (not (Float.is_finite f))
+      | _ -> Alcotest.fail "unexpected shape")
+    [ 0.1; 1e-12; 3.141592653589793; 1e300; 0.5 ]
+
+let test_nonfinite () =
+  let enc f = Json.to_string ~pretty:false (`Float f) in
+  check_str "nan" "\"nan\"" (enc Float.nan);
+  check_str "inf" "\"inf\"" (enc Float.infinity);
+  check_true "to_float maps back"
+    (Json.to_float (Json.of_string_exn "\"inf\"") = Some Float.infinity)
+
+let test_accessors () =
+  let j = Json.of_string_exn {|{"a": {"b": [1, 2.5, "x"]}}|} in
+  let b = Option.bind (Json.member "a" j) (Json.member "b") in
+  match Option.bind b Json.to_list with
+  | Some [ one; two_five; x ] ->
+      check_true "to_int" (Json.to_int one = Some 1);
+      check_true "to_float accepts ints" (Json.to_float one = Some 1.);
+      check_true "to_float" (Json.to_float two_five = Some 2.5);
+      check_true "to_string_opt" (Json.to_string_opt x = Some "x");
+      check_true "member misses return None" (Json.member "z" j = None)
+  | _ -> Alcotest.fail "accessor chain broke"
+
+let suite =
+  ( "json",
+    [
+      quick "round-trip, pretty and compact" test_roundtrip;
+      quick "compact form has no whitespace" test_compact_has_no_whitespace;
+      quick "literal parsing" test_parse_literals;
+      quick "malformed inputs are rejected" test_parse_errors;
+      quick "floats round-trip exactly" test_float_roundtrip;
+      quick "non-finite floats" test_nonfinite;
+      quick "accessors" test_accessors;
+    ] )

@@ -2,6 +2,8 @@ let () =
   Alcotest.run "unknown-ba"
     [
       Test_util.suite;
+      Test_json.suite;
+      Test_report.suite;
       Test_sim.suite;
       Test_rb.suite;
       Test_rotor.suite;

@@ -211,6 +211,48 @@ let test_metrics () =
   check_int "deliveries" (n * n) (Metrics.delivered m);
   check_int "rounds" 2 (Metrics.rounds m)
 
+let test_metrics_per_round () =
+  let n = 3 in
+  let net = mk n 3 in
+  let _ = Net.run net in
+  let m = Net.metrics net in
+  let per_round = Metrics.delivered_per_round m in
+  (* lifetime 3: broadcasts in rounds 1 and 2 deliver in rounds 2 and 3. *)
+  check_true "rows ascending in round"
+    (List.map fst per_round = List.sort compare (List.map fst per_round));
+  check_true "rows unique"
+    (List.length (List.sort_uniq compare (List.map fst per_round))
+    = List.length per_round);
+  check_true "per-round counts sum to the total"
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 per_round
+    = Metrics.delivered m);
+  let times = Metrics.round_times_ms m in
+  check_int "one timing row per round" (Metrics.rounds m) (List.length times);
+  check_true "timing rows ascending"
+    (List.map fst times = List.init (Metrics.rounds m) (fun i -> i + 1));
+  check_true "timings are non-negative" (List.for_all (fun (_, ms) -> ms >= 0.) times);
+  check_true "elapsed is the sum of round times"
+    (Float.abs
+       (Metrics.elapsed_ms m
+       -. List.fold_left (fun acc (_, ms) -> acc +. ms) 0. times)
+    < 1e-6)
+
+let test_metrics_json_roundtrip () =
+  let net = mk 3 3 in
+  let _ = Net.run net in
+  let m = Net.metrics net in
+  match Metrics.of_json (Metrics.to_json m) with
+  | Error msg -> Alcotest.fail msg
+  | Ok m' ->
+      check_int "rounds" (Metrics.rounds m) (Metrics.rounds m');
+      check_int "sends" (Metrics.sends_correct m) (Metrics.sends_correct m');
+      check_int "delivered" (Metrics.delivered m) (Metrics.delivered m');
+      check_true "per-round rows"
+        (Metrics.delivered_per_round m = Metrics.delivered_per_round m');
+      check_true "round times"
+        (Metrics.round_times_ms m = Metrics.round_times_ms m');
+      check_true "kinds" (Metrics.kinds m = Metrics.kinds m')
+
 let test_trace_records () =
   let trace = Trace.create () in
   let correct = List.map (fun id -> (id, { Probe.lifetime = 2 })) (ids 2) in
@@ -219,7 +261,43 @@ let test_trace_records () =
   check_true "join events recorded"
     (Trace.find trace ~f:(fun e -> e.Trace.what = "join (correct)") <> None);
   check_true "halt events recorded"
-    (Trace.find trace ~f:(fun e -> e.Trace.what = "halt") <> None)
+    (Trace.find trace ~f:(fun e -> e.Trace.what = "halt") <> None);
+  check_true "events carry typed kinds"
+    (Trace.find trace ~f:(fun e -> e.Trace.kind = Trace.Join) <> None
+    && Trace.find trace ~f:(fun e -> e.Trace.kind = Trace.Send) <> None
+    && Trace.find trace ~f:(fun e -> e.Trace.kind = Trace.Halt) <> None)
+
+let test_trace_json () =
+  let trace = Trace.create () in
+  let correct = List.map (fun id -> (id, { Probe.lifetime = 2 })) (ids 2) in
+  let net = Net.create ~trace ~correct ~byzantine:[] () in
+  let _ = Net.run net in
+  let events = Trace.events trace in
+  (* Every event round-trips through its JSON encoding. *)
+  List.iter
+    (fun e ->
+      match Trace.event_of_json (Trace.event_to_json e) with
+      | Ok e' ->
+          check_true "event round-trips"
+            (e'.Trace.round = e.Trace.round
+            && e'.Trace.kind = e.Trace.kind
+            && e'.Trace.what = e.Trace.what
+            && Option.map Node_id.to_int e'.Trace.node
+               = Option.map Node_id.to_int e.Trace.node)
+      | Error msg -> Alcotest.fail msg)
+    events;
+  (* JSONL: one parseable line per event, in order. *)
+  let lines =
+    Trace.to_jsonl trace |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "one line per event" (List.length events) (List.length lines);
+  List.iter
+    (fun line ->
+      match Ubpa_util.Json.of_string line with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail msg)
+    lines
 
 let test_decision_round_reported () =
   let net = mk 2 4 in
@@ -251,7 +329,10 @@ let suite =
       quick "nodes can join mid-run" test_join_mid_run;
       quick "duplicate identifiers rejected" test_duplicate_id_rejected;
       quick "metrics count sends, deliveries, rounds" test_metrics;
+      quick "per-round metrics: ordering, timing, totals" test_metrics_per_round;
+      quick "metrics JSON round-trip" test_metrics_json_roundtrip;
       quick "trace records engine events" test_trace_records;
+      quick "trace events serialize to JSON/JSONL" test_trace_json;
       quick "reports carry decision rounds" test_decision_round_reported;
       quick "run_until stops on predicate" test_run_until;
     ] )
