@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-fast bench-csv bench-json bench-check \
-	fmt fmt-check examples clean
+	bench-baseline bench-gate fmt fmt-check examples clean
 
 all: build
 
@@ -29,6 +29,19 @@ bench-json:
 bench-check:
 	dune exec bench/main.exe -- --fast --no-timing --json results/json-fast/
 	dune exec bin/bench_diff.exe -- --check-claims results/json-fast/
+
+# Regenerate the committed refactor-gate baseline. PERF is excluded on
+# purpose: it races the two delivery cores head to head, so its timing
+# cells change run to run and can never be a determinism reference.
+bench-baseline:
+	dune exec bench/main.exe -- --fast --no-timing --json bench/baseline/
+	rm -f bench/baseline/BENCH_PERF.json
+
+# The refactor gate CI runs: fast sweeps diffed cell-for-cell against
+# the committed baseline (wall-clock metadata exempt, timing gate off).
+bench-gate:
+	dune exec bench/main.exe -- --fast --no-timing --json results/json-fast/
+	dune exec bin/bench_diff.exe -- --exact bench/baseline results/json-fast/
 
 fmt:
 	dune build @fmt --auto-promote

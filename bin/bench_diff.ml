@@ -17,6 +17,7 @@ let () =
   let check_claims_only = ref false in
   let threshold = ref 10. in
   let time_threshold = ref None in
+  let exact = ref false in
   let dirs = ref [] in
   let spec =
     [
@@ -30,6 +31,10 @@ let () =
         Arg.Float (fun f -> time_threshold := Some f),
         "PCT also gate wall-clock elapsed_ms (off by default: CI timing is \
          noisy)" );
+      ( "--exact",
+        Arg.Set exact,
+        " require candidate tables to be cell-for-cell identical to the \
+         baseline (refactor gate; wall-clock metadata stays exempt)" );
     ]
   in
   Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
@@ -51,7 +56,7 @@ let () =
         if !check_claims_only then Diff.check_claims candidate
         else
           Diff.compare ~threshold:!threshold ?time_threshold:!time_threshold
-            ~baseline ~candidate ()
+            ~exact:!exact ~baseline ~candidate ()
     | _ ->
         prerr_string usage;
         exit 2

@@ -372,18 +372,20 @@ let trace_cmd =
     (* A small consensus run with the engine's live trace enabled: every
        send, output, and halt is printed as it happens. *)
     let module C = Unknown_ba.Consensus.Make (Unknown_ba.Value.Int) in
-    let module Net = Network.Make (C) in
+    let module H = Ubpa_harness.Harness.Make (C) in
     let module A = Ubpa_adversary.Consensus_attacks.Make (Unknown_ba.Value.Int) in
-    let ids = Scenarios.make_ids ~seed:(i64 seed) n in
-    let correct_ids = List.filteri (fun i _ -> i < n - f) ids in
-    let byz_ids = List.filteri (fun i _ -> i >= n - f) ids in
+    let correct_ids, byz_ids =
+      Ubpa_harness.Harness.split_population ~seed:(i64 seed) ~n_correct:(n - f)
+        ~n_byz:f
+    in
     let correct = List.mapi (fun i id -> (id, i mod 2)) correct_ids in
     let byzantine = List.map (fun id -> (id, A.split_world 0 1)) byz_ids in
     let trace = Trace.create ~live:(not timeline) () in
-    let net = Net.create ~trace ~correct ~byzantine () in
-    (match Net.run ~max_rounds:200 net with
-    | `All_halted -> ()
-    | `Max_rounds_reached -> Fmt.epr "did not terminate@.");
+    let o = H.execute ~trace ~max_rounds:200 ~correct ~byzantine () in
+    (match o.H.finished with
+    | `All_halted | `Stopped -> ()
+    | `Max_rounds_reached -> Fmt.epr "did not terminate@."
+    | `No_correct_nodes -> assert false);
     if timeline then
       Fmt.pr "%s@." (Timeline.to_string (Timeline.of_trace trace))
     else
@@ -391,7 +393,7 @@ let trace_cmd =
     Fmt.pr "decisions:@.";
     List.iter
       (fun (id, v) -> Fmt.pr "  %a -> %d@." Ubpa_util.Node_id.pp id v)
-      (Net.outputs net)
+      o.H.outputs
   in
   Cmd.v
     (Cmd.info "trace"

@@ -21,6 +21,9 @@ let init ~self:_ ~round:_ { value; iterations; f } =
 
 let pp_message ppf (Estimate v) = Fmt.pf ppf "estimate(%g)" v
 
+let compare_message (Estimate a) (Estimate b) = Float.compare a b
+let equal_message a b = compare_message a b = 0
+
 let reduce ~f values =
   match values with
   | [] -> None

@@ -42,6 +42,18 @@ module Make (V : Value.S) = struct
     | Propose x -> Fmt.pf ppf "propose(%a)" V.pp x
     | King x -> Fmt.pf ppf "king(%a)" V.pp x
 
+  let compare_message a b =
+    match (a, b) with
+    | Value x, Value y -> V.compare x y
+    | Value _, (Propose _ | King _) -> -1
+    | (Propose _ | King _), Value _ -> 1
+    | Propose x, Propose y -> V.compare x y
+    | Propose _, King _ -> -1
+    | King _, Propose _ -> 1
+    | King x, King y -> V.compare x y
+
+  let equal_message a b = compare_message a b = 0
+
   let king_of st phase = List.nth st.members ((phase - 1) mod st.n)
 
   (* Phase structure (local rounds, 1-based):

@@ -43,6 +43,19 @@ module Make (V : Value.S) = struct
     | Present -> Fmt.string ppf "present"
     | Echo (m, s) -> Fmt.pf ppf "echo(%a,%a)" V.pp m Node_id.pp s
 
+  let compare_message a b =
+    match (a, b) with
+    | Payload m, Payload m' -> V.compare m m'
+    | Payload _, (Present | Echo _) -> -1
+    | (Present | Echo _), Payload _ -> 1
+    | Present, Present -> 0
+    | Present, Echo _ -> -1
+    | Echo _, Present -> 1
+    | Echo (m, s), Echo (m', s') -> (
+        match V.compare m m' with 0 -> Node_id.compare s s' | c -> c)
+
+  let equal_message a b = compare_message a b = 0
+
   let step ~self:_ ~round ~stim:_ st ~inbox =
     st.local_round <- st.local_round + 1;
     match st.local_round with

@@ -22,6 +22,12 @@ let init ~self:_ ~round:_ { value; iterations } =
 
 let pp_message ppf (Estimate v) = Fmt.pf ppf "estimate(%g)" v
 
+(* [Float.compare] rather than the structural default: estimates are
+   floats, and polymorphic comparison on boxed floats is both slower and
+   ill-defined on nan. *)
+let compare_message (Estimate a) (Estimate b) = Float.compare a b
+let equal_message a b = compare_message a b = 0
+
 let midpoint_rule values =
   match values with
   | [] -> None

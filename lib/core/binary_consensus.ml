@@ -54,6 +54,12 @@ let pp_message ppf = function
   | Support x -> Fmt.pf ppf "support(%b)" x
   | Opinion x -> Fmt.pf ppf "opinion(%b)" x
 
+(* Ground constructors (bools and node ids only): the structural order is
+   already the right one. *)
+include Protocol.Structural (struct
+  type t = message
+end)
+
 let current_opinion st = st.x_v
 
 let phase st =

@@ -18,6 +18,28 @@ module Make (V : Value.S) = struct
     | Strongprefer x -> Fmt.pf ppf "strongprefer(%a)" V.pp x
     | Opinion x -> Fmt.pf ppf "opinion(%a)" V.pp x
 
+  (* Rank constructors, then compare arguments with the value's own order. *)
+  let tag = function
+    | Init -> 0
+    | Cand_echo _ -> 1
+    | Input _ -> 2
+    | Prefer _ -> 3
+    | Strongprefer _ -> 4
+    | Opinion _ -> 5
+
+  let compare_message a b =
+    match (a, b) with
+    | Init, Init -> 0
+    | Cand_echo p, Cand_echo q -> Node_id.compare p q
+    | Input x, Input y
+    | Prefer x, Prefer y
+    | Strongprefer x, Strongprefer y
+    | Opinion x, Opinion y ->
+        V.compare x y
+    | _ -> Int.compare (tag a) (tag b)
+
+  let equal_message a b = compare_message a b = 0
+
   type status = Running | Decided of V.t
 
   type t = {

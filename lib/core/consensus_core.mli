@@ -40,6 +40,13 @@ module Make (V : Value.S) : sig
 
   val pp_message : message Fmt.t
 
+  val compare_message : message -> message -> int
+  (** Constructor rank, then per-constructor argument order ([V.compare] /
+      [Node_id.compare]); exposed so protocol wrappers satisfy
+      {!Ubpa_sim.Protocol.S} by delegation. *)
+
+  val equal_message : message -> message -> bool
+
   type status = Running | Decided of V.t
 
   type t

@@ -11,6 +11,8 @@ module Make (V : Value.S) = struct
 
   let name = "parallel-consensus"
   let pp_message = Core.pp_message
+  let compare_message = Core.compare_message
+  let equal_message = Core.equal_message
   let init ~self ~round:_ inputs = Core.create ~self ~inputs ()
 
   let step ~self:_ ~round:_ ~stim:_ st ~inbox =

@@ -33,6 +33,35 @@ module Make (V : Value.S) = struct
 
   let compare_opinion = Option.compare V.compare
 
+  let body_tag = function
+    | Input _ -> 0
+    | Prefer _ -> 1
+    | Strongprefer _ -> 2
+    | Nopreference -> 3
+    | Nostrongpreference -> 4
+    | Opinion _ -> 5
+
+  let compare_body a b =
+    match (a, b) with
+    | Input x, Input y | Prefer x, Prefer y | Strongprefer x, Strongprefer y
+    | Opinion x, Opinion y ->
+        compare_opinion x y
+    | Nopreference, Nopreference | Nostrongpreference, Nostrongpreference -> 0
+    | _ -> Int.compare (body_tag a) (body_tag b)
+
+  let compare_message a b =
+    match (a, b) with
+    | Init, Init -> 0
+    | Init, (Cand_echo _ | Inst _) -> -1
+    | (Cand_echo _ | Inst _), Init -> 1
+    | Cand_echo p, Cand_echo q -> Node_id.compare p q
+    | Cand_echo _, Inst _ -> -1
+    | Inst _, Cand_echo _ -> 1
+    | Inst (i, x), Inst (j, y) -> (
+        match Int.compare i j with 0 -> compare_body x y | c -> c)
+
+  let equal_message a b = compare_message a b = 0
+
   type inst = {
     inst_id : int;
     mutable x : opinion;

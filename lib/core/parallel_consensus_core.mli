@@ -54,6 +54,13 @@ module Make (V : Value.S) : sig
 
   val pp_message : message Fmt.t
 
+  val compare_message : message -> message -> int
+  (** Constructor rank, then instance id, then per-constructor argument
+      order; exposed so wrappers satisfy {!Ubpa_sim.Protocol.S} by
+      delegation. *)
+
+  val equal_message : message -> message -> bool
+
   type status =
     | Running
     | Done of (int * V.t) list

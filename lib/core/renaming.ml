@@ -33,6 +33,12 @@ let pp_message ppf = function
   | Echo p -> Fmt.pf ppf "echo(%a)" Node_id.pp p
   | Terminate k -> Fmt.pf ppf "terminate(%d)" k
 
+(* Ground constructors (ints and node ids only): the structural order is
+   already the right one. *)
+include Protocol.Structural (struct
+  type t = message
+end)
+
 let ranks s =
   List.mapi (fun i p -> (p, i + 1)) (Node_id.Set.elements s)
 

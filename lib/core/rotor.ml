@@ -45,6 +45,18 @@ module Make (V : Value.S) = struct
     | Echo p -> Fmt.pf ppf "echo(%a)" Node_id.pp p
     | Opinion x -> Fmt.pf ppf "opinion(%a)" V.pp x
 
+  let compare_message a b =
+    match (a, b) with
+    | Init, Init -> 0
+    | Init, (Echo _ | Opinion _) -> -1
+    | (Echo _ | Opinion _), Init -> 1
+    | Echo p, Echo q -> Node_id.compare p q
+    | Echo _, Opinion _ -> -1
+    | Opinion _, Echo _ -> 1
+    | Opinion x, Opinion y -> V.compare x y
+
+  let equal_message a b = compare_message a b = 0
+
   let note_senders st inbox =
     List.iter
       (fun (src, _) -> st.heard_from <- Node_id.Set.add src st.heard_from)

@@ -29,6 +29,18 @@ module Make (V : Value.S) = struct
     | Trb_init -> Fmt.string ppf "init"
     | Con m -> Fmt.pf ppf "con:%a" Core.pp_message m
 
+  let compare_message a b =
+    match (a, b) with
+    | Trb_payload m, Trb_payload m' -> V.compare m m'
+    | Trb_payload _, (Trb_init | Con _) -> -1
+    | (Trb_init | Con _), Trb_payload _ -> 1
+    | Trb_init, Trb_init -> 0
+    | Trb_init, Con _ -> -1
+    | Con _, Trb_init -> 1
+    | Con m, Con m' -> Core.compare_message m m'
+
+  let equal_message a b = compare_message a b = 0
+
   let step ~self:_ ~round:_ ~stim:_ st ~inbox =
     st.local_round <- st.local_round + 1;
     match st.local_round with

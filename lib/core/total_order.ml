@@ -71,6 +71,25 @@ module Make (V : Value.S) = struct
     | Event (m, r) -> Fmt.pf ppf "event(%a,%d)" V.pp m r
     | Group (g, m) -> Fmt.pf ppf "g%d:%a" g Pc.pp_message m
 
+  let msg_tag = function
+    | Present -> 0
+    | Ack _ -> 1
+    | Absent -> 2
+    | Event _ -> 3
+    | Group _ -> 4
+
+  let compare_message a b =
+    match (a, b) with
+    | Present, Present | Absent, Absent -> 0
+    | Ack r, Ack r' -> Int.compare r r'
+    | Event (m, r), Event (m', r') -> (
+        match V.compare m m' with 0 -> Int.compare r r' | c -> c)
+    | Group (g, m), Group (g', m') -> (
+        match Int.compare g g' with 0 -> Pc.compare_message m m' | c -> c)
+    | _ -> Int.compare (msg_tag a) (msg_tag b)
+
+  let equal_message a b = compare_message a b = 0
+
   let membership st = Node_id.Set.elements st.s
   let logical_round st = st.r
 

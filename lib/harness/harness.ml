@@ -1,0 +1,61 @@
+open Ubpa_util
+open Ubpa_sim
+
+let make_ids ~seed n = Node_id.scatter ~seed n
+let max_f n = (n - 1) / 3
+
+let split_population ~seed ~n_correct ~n_byz =
+  let ids = make_ids ~seed (n_correct + n_byz) in
+  let correct = List.filteri (fun i _ -> i < n_correct) ids in
+  let byz = List.filteri (fun i _ -> i >= n_correct) ids in
+  (correct, byz)
+
+module Make (P : Protocol.S) = struct
+  module Net = Network.Make (P)
+
+  type finished =
+    [ `All_halted | `Max_rounds_reached | `No_correct_nodes | `Stopped ]
+
+  type outcome = {
+    finished : finished;
+    rounds : int;
+    delivered_msgs : int;
+    outputs : (Node_id.t * P.output) list;
+    reports : Net.node_report list;
+    metrics : Metrics.t;
+    net : Net.t;
+  }
+
+  let create ?rushing ?delivery ?seed ?trace ?classify ?stimulus ~correct
+      ~byzantine () =
+    Net.create ?rushing ?delivery ?seed ?trace ?classify ?stimulus ~correct
+      ~byzantine ()
+
+  let collect net ~finished =
+    let metrics = Net.metrics net in
+    {
+      finished;
+      rounds = Net.round net;
+      delivered_msgs = Metrics.delivered metrics;
+      outputs = Net.outputs net;
+      reports = Net.reports net;
+      metrics;
+      net;
+    }
+
+  let execute ?rushing ?delivery ?seed ?trace ?classify ?stimulus ?max_rounds
+      ?stop ?(settle = 0) ~correct ~byzantine () =
+    let net =
+      create ?rushing ?delivery ?seed ?trace ?classify ?stimulus ~correct
+        ~byzantine ()
+    in
+    let finished =
+      match stop with
+      | None -> (Net.run ?max_rounds net :> finished)
+      | Some stop -> (Net.run_until ?max_rounds net ~stop :> finished)
+    in
+    for _ = 1 to settle do
+      Net.step_round net
+    done;
+    collect net ~finished
+end

@@ -53,7 +53,50 @@ let compare_metric ~experiment ~threshold name ~baseline ~candidate =
       }
   else None
 
-let compare_pair ~threshold ~time_threshold (base : Artifact.t)
+(* Exact mode: the refactor gate. The candidate table must be cell-for-cell
+   identical to the baseline — any drift in columns, row count, or any cell
+   is a Failure, regardless of thresholds. *)
+let exact_issues ~experiment (base : Artifact.t) (cand : Artifact.t) =
+  if base.columns <> cand.columns then
+    [
+      {
+        experiment;
+        severity = Failure;
+        message =
+          Printf.sprintf "columns differ: [%s] -> [%s]"
+            (String.concat "; " base.columns)
+            (String.concat "; " cand.columns);
+      };
+    ]
+  else if List.length base.rows <> List.length cand.rows then
+    [
+      {
+        experiment;
+        severity = Failure;
+        message =
+          Printf.sprintf "row count differs: %d -> %d"
+            (List.length base.rows) (List.length cand.rows);
+      };
+    ]
+  else
+    List.concat
+      (List.mapi
+         (fun i (b_row, c_row) ->
+           if b_row = c_row then []
+           else
+             [
+               {
+                 experiment;
+                 severity = Failure;
+                 message =
+                   Printf.sprintf "row %d differs: [%s] -> [%s]" i
+                     (String.concat "; " b_row)
+                     (String.concat "; " c_row);
+               };
+             ])
+         (List.combine base.rows cand.rows))
+
+let compare_pair ~threshold ~time_threshold ~exact (base : Artifact.t)
     (cand : Artifact.t) =
   let experiment = cand.experiment in
   let claim_regressions =
@@ -115,10 +158,11 @@ let compare_pair ~threshold ~time_threshold (base : Artifact.t)
              ~baseline:base.elapsed_ms ~candidate:cand.elapsed_ms)
     | Some _ -> []
   in
-  claim_regressions @ metric_issues @ time_issues
+  let exactness = if exact then exact_issues ~experiment base cand else [] in
+  claim_regressions @ metric_issues @ time_issues @ exactness
 
-let compare ?(threshold = 10.) ?time_threshold ~(baseline : Artifact.t list)
-    ~(candidate : Artifact.t list) () =
+let compare ?(threshold = 10.) ?time_threshold ?(exact = false)
+    ~(baseline : Artifact.t list) ~(candidate : Artifact.t list) () =
   let missing =
     List.filter_map
       (fun (b : Artifact.t) ->
@@ -162,7 +206,7 @@ let compare ?(threshold = 10.) ?time_threshold ~(baseline : Artifact.t list)
             baseline
         with
         | None -> []
-        | Some b -> compare_pair ~threshold ~time_threshold b c)
+        | Some b -> compare_pair ~threshold ~time_threshold ~exact b c)
       candidate
   in
   missing @ new_ones @ pairwise @ check_claims candidate

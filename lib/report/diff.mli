@@ -28,6 +28,7 @@ val check_claims : Artifact.t list -> issue list
 val compare :
   ?threshold:float ->
   ?time_threshold:float ->
+  ?exact:bool ->
   baseline:Artifact.t list ->
   candidate:Artifact.t list ->
   unit ->
@@ -36,5 +37,9 @@ val compare :
     growth of each shared derived metric. Metrics are only compared when
     the two artifacts ran the same sweep ([fast] flag and row count
     match); otherwise an [Info] issue notes the skip. [time_threshold]
-    (percent) additionally gates [elapsed_ms]. Claims of the candidate
-    are checked unconditionally. *)
+    (percent) additionally gates [elapsed_ms]. [exact] (default [false])
+    is the refactor gate: for every experiment present in both sets, the
+    candidate's columns and rows must be cell-for-cell identical to the
+    baseline's — any drift is a [Failure]. Only wall-clock [elapsed_ms]
+    stays exempt (it is metadata, not a table cell). Claims of the
+    candidate are checked unconditionally. *)

@@ -1,15 +1,10 @@
 open Ubpa_util
-open Ubpa_sim
+open Ubpa_harness
 open Unknown_ba
 
-let make_ids ~seed n = Node_id.scatter ~seed n
-let max_f n = (n - 1) / 3
-
-let split_population ~seed ~n_correct ~n_byz =
-  let ids = make_ids ~seed (n_correct + n_byz) in
-  let correct = List.filteri (fun i _ -> i < n_correct) ids in
-  let byz = List.filteri (fun i _ -> i >= n_correct) ids in
-  (correct, byz)
+let make_ids = Harness.make_ids
+let max_f = Harness.max_f
+let split_population = Harness.split_population
 
 let is_prefix ~of_:long short =
   let rec go = function
@@ -23,7 +18,8 @@ let prefix_ordered a b = is_prefix ~of_:a b || is_prefix ~of_:b a
 
 module Rb = struct
   module P = Reliable_broadcast.Make (Value.String)
-  module Net = Network.Make (P)
+  module H = Harness.Make (P)
+  module Net = H.Net
   module Attacks = Ubpa_adversary.Rb_attacks.Make (Value.String)
 
   type summary = {
@@ -55,7 +51,6 @@ module Rb = struct
         correct_ids
     in
     let byzantine = List.combine byz_ids byz in
-    let net = Net.create ~seed ~correct ~byzantine () in
     let everyone_accepted net =
       let reports = Net.reports net in
       reports <> []
@@ -64,11 +59,12 @@ module Rb = struct
              match r.Net.last_output with Some (_ :: _) -> true | _ -> false)
            reports
     in
-    let _ = Net.run_until ~max_rounds net ~stop:everyone_accepted in
     (* Two settle rounds so the relay property has finished propagating any
        acceptance that happened on the last round. *)
-    Net.step_round net;
-    Net.step_round net;
+    let o =
+      H.execute ~seed ~max_rounds ~stop:everyone_accepted ~settle:2 ~correct
+        ~byzantine ()
+    in
     let accepted =
       List.map
         (fun r ->
@@ -82,7 +78,7 @@ module Rb = struct
                   l
           in
           (r.Net.id, entries))
-        (Net.reports net)
+        o.H.reports
     in
     let designated_rounds =
       List.filter_map
@@ -113,8 +109,8 @@ module Rb = struct
     {
       n = n_correct + List.length byz;
       f = List.length byz;
-      rounds = Net.round net;
-      delivered_msgs = Metrics.delivered (Net.metrics net);
+      rounds = o.H.rounds;
+      delivered_msgs = o.H.delivered_msgs;
       accepted;
       all_accepted_sender_payload = all;
       consistent_acceptance = consistent;
@@ -129,7 +125,8 @@ end
 
 module Rotor_int = struct
   module P = Rotor.Make (Value.Int)
-  module Net = Network.Make (P)
+  module H = Harness.Make (P)
+  module Net = H.Net
   module Attacks = Ubpa_adversary.Rotor_attacks.Make (Value.Int)
 
   type summary = {
@@ -168,25 +165,24 @@ module Rotor_int = struct
     in
     let correct = List.mapi (fun i id -> (id, i)) correct_ids in
     let byzantine = List.combine byz_ids byz in
-    let net = Net.create ~seed ~correct ~byzantine () in
-    let finished = Net.run ~max_rounds net in
-    let outputs = Net.outputs net in
+    let o = H.execute ~seed ~max_rounds ~correct ~byzantine () in
     {
       n = n_correct + List.length byz;
       f = List.length byz;
-      rounds = Net.round net;
-      delivered_msgs = Metrics.delivered (Net.metrics net);
-      all_terminated = finished = `All_halted;
-      outputs;
-      good_round_exists = good_round ~correct_ids outputs;
+      rounds = o.H.rounds;
+      delivered_msgs = o.H.delivered_msgs;
+      all_terminated = o.H.finished = `All_halted;
+      outputs = o.H.outputs;
+      good_round_exists = good_round ~correct_ids o.H.outputs;
       termination_rounds =
-        List.filter_map (fun r -> r.Net.halted_at) (Net.reports net);
+        List.filter_map (fun r -> r.Net.halted_at) o.H.reports;
     }
 end
 
 module Consensus_int = struct
   module P = Consensus.Make (Value.Int)
-  module Net = Network.Make (P)
+  module H = Harness.Make (P)
+  module Net = H.Net
   module Attacks = Ubpa_adversary.Consensus_attacks.Make (Value.Int)
 
   type summary = {
@@ -208,9 +204,8 @@ module Consensus_int = struct
     in
     let correct = List.mapi (fun i id -> (id, inputs i)) correct_ids in
     let byzantine = List.combine byz_ids byz in
-    let net = Net.create ~seed ~correct ~byzantine () in
-    let finished = Net.run ~max_rounds net in
-    let outputs = Net.outputs net in
+    let o = H.execute ~seed ~max_rounds ~correct ~byzantine () in
+    let outputs = o.H.outputs in
     let values = List.map snd outputs in
     let input_values = List.mapi (fun i _ -> inputs i) correct_ids in
     let agreed =
@@ -223,8 +218,8 @@ module Consensus_int = struct
     {
       n = n_correct + List.length byz;
       f = List.length byz;
-      rounds = Net.round net;
-      delivered_msgs = Metrics.delivered (Net.metrics net);
+      rounds = o.H.rounds;
+      delivered_msgs = o.H.delivered_msgs;
       outputs;
       agreed;
       valid =
@@ -237,15 +232,16 @@ module Consensus_int = struct
         | iv :: rest, _ ->
             (not (List.for_all (Int.equal iv) rest))
             || List.for_all (Int.equal iv) values);
-      all_terminated = finished = `All_halted;
+      all_terminated = o.H.finished = `All_halted;
       decision_rounds =
-        List.filter_map (fun r -> r.Net.halted_at) (Net.reports net);
+        List.filter_map (fun r -> r.Net.halted_at) o.H.reports;
     }
 end
 
 module Aa = struct
   module P = Approx_agreement
-  module Net = Network.Make (Approx_agreement)
+  module H = Harness.Make (Approx_agreement)
+  module Net = H.Net
 
   type summary = {
     n : int;
@@ -269,12 +265,13 @@ module Aa = struct
         correct_ids
     in
     let byzantine = List.combine byz_ids byz in
-    let net = Net.create ~seed ~correct ~byzantine () in
-    let _ = Net.run ~max_rounds:(iterations + 5) net in
+    let o =
+      H.execute ~seed ~max_rounds:(iterations + 5) ~correct ~byzantine ()
+    in
     let outputs =
       List.map
         (fun (id, (p : Approx_agreement.progress)) -> (id, p.estimate))
-        (Net.outputs net)
+        o.H.outputs
     in
     let input_values = List.mapi (fun i _ -> inputs i) correct_ids in
     let i_lo, i_hi = Stats.min_max input_values in
@@ -286,8 +283,8 @@ module Aa = struct
     {
       n = n_correct + List.length byz;
       f = List.length byz;
-      rounds = Net.round net;
-      delivered_msgs = Metrics.delivered (Net.metrics net);
+      rounds = o.H.rounds;
+      delivered_msgs = o.H.delivered_msgs;
       outputs;
       input_range = (i_lo, i_hi);
       output_range = (o_lo, o_hi);
@@ -324,7 +321,7 @@ module Aa = struct
         start_ids
     in
     let net =
-      Net.create ~seed ~correct ~byzantine:(List.combine byz_ids byz) ()
+      H.create ~seed ~correct ~byzantine:(List.combine byz_ids byz) ()
     in
     let all_values =
       List.mapi (fun i _ -> inputs i) start_ids @ List.map snd joins
@@ -370,20 +367,21 @@ module Aa = struct
           ranges := (round, lo, hi) :: !ranges
     in
     loop 1 (List.sort compare joins) join_ids;
+    let o = H.collect net ~finished:`Stopped in
     let finals =
       List.filter_map
         (fun r ->
           Option.map
             (fun (p : Approx_agreement.progress) -> p.estimate)
             r.Net.last_output)
-        (Net.reports net)
+        o.H.reports
     in
     let within =
       finals <> []
       && List.for_all (fun v -> v >= g_lo && v <= g_hi) finals
     in
     {
-      rounds = Net.round net;
+      rounds = o.H.rounds;
       range_per_round = List.rev !ranges;
       joins_applied = List.rev !join_log;
       within_global_range = within;
@@ -392,7 +390,8 @@ end
 
 module Parallel_int = struct
   module P = Parallel_consensus.Make (Value.Int)
-  module Net = Network.Make (P)
+  module H = Harness.Make (P)
+  module Net = H.Net
   module Attacks = Ubpa_adversary.Pc_attacks.Make (Value.Int)
 
   type summary = {
@@ -412,32 +411,32 @@ module Parallel_int = struct
     in
     let correct = List.mapi (fun i id -> (id, inputs i)) correct_ids in
     let byzantine = List.combine byz_ids byz in
-    let net = Net.create ~seed ~correct ~byzantine () in
-    let finished = Net.run ~max_rounds net in
+    let o = H.execute ~seed ~max_rounds ~correct ~byzantine () in
     let outputs =
-      List.map (fun (id, o) -> (id, List.sort compare o)) (Net.outputs net)
+      List.map (fun (id, out) -> (id, List.sort compare out)) o.H.outputs
     in
     let agreed =
       match outputs with
       | [] -> false
       | (_, first) :: rest ->
-          List.for_all (fun (_, o) -> o = first) rest
+          List.for_all (fun (_, out) -> out = first) rest
           && List.length outputs = List.length correct_ids
     in
     {
       n = n_correct + List.length byz;
       f = List.length byz;
-      rounds = Net.round net;
-      delivered_msgs = Metrics.delivered (Net.metrics net);
+      rounds = o.H.rounds;
+      delivered_msgs = o.H.delivered_msgs;
       outputs;
       agreed;
-      all_terminated = finished = `All_halted;
+      all_terminated = o.H.finished = `All_halted;
     }
 end
 
 
 module Binary = struct
-  module Net = Network.Make (Binary_consensus)
+  module H = Harness.Make (Binary_consensus)
+  module Net = H.Net
 
   type summary = {
     n : int;
@@ -458,9 +457,8 @@ module Binary = struct
     in
     let correct = List.mapi (fun i id -> (id, inputs i)) correct_ids in
     let byzantine = List.combine byz_ids byz in
-    let net = Net.create ~seed ~correct ~byzantine () in
-    let finished = Net.run ~max_rounds net in
-    let outputs = Net.outputs net in
+    let o = H.execute ~seed ~max_rounds ~correct ~byzantine () in
+    let outputs = o.H.outputs in
     let values = List.map snd outputs in
     let input_values = List.mapi (fun i _ -> inputs i) correct_ids in
     let agreed =
@@ -473,20 +471,21 @@ module Binary = struct
     {
       n = n_correct + List.length byz;
       f = List.length byz;
-      rounds = Net.round net;
-      delivered_msgs = Metrics.delivered (Net.metrics net);
+      rounds = o.H.rounds;
+      delivered_msgs = o.H.delivered_msgs;
       outputs;
       agreed;
       valid = (match values with [] -> false | v :: _ -> List.mem v input_values);
-      all_terminated = finished = `All_halted;
+      all_terminated = o.H.finished = `All_halted;
       decision_rounds =
-        List.filter_map (fun r -> r.Net.first_output_round) (Net.reports net);
+        List.filter_map (fun r -> r.Net.first_output_round) o.H.reports;
     }
 end
 
 module Total_order_str = struct
   module P = Total_order.Make (Value.String)
-  module Net = Network.Make (P)
+  module H = Harness.Make (P)
+  module Net = H.Net
 
   type churn = { join_at : (int * int) list; leave_at : (int * int) list }
 
@@ -558,7 +557,7 @@ module Total_order_str = struct
     in
     let correct = List.map (fun id -> (id, P.Genesis)) genesis_ids in
     let byzantine = List.combine byz_ids byz in
-    let net = Net.create ~seed ~stimulus ~correct ~byzantine () in
+    let net = H.create ~seed ~stimulus ~correct ~byzantine () in
     let joins =
       List.concat_map
         (fun (round, k) -> List.init k (fun i -> (round, i)))
@@ -572,14 +571,10 @@ module Total_order_str = struct
         joins;
       Net.step_round net
     done;
-    let chains =
-      List.filter_map
-        (fun rep ->
-          Option.map (fun o -> (rep.Net.id, o)) rep.Net.last_output)
-        (Net.reports net)
-    in
-    let entry_list (o : P.chain_output) =
-      List.map (fun e -> (e.P.group, Node_id.to_int e.P.origin, e.P.event)) o.chain
+    let o = H.collect net ~finished:`Stopped in
+    let chains = o.H.outputs in
+    let entry_list (out : P.chain_output) =
+      List.map (fun e -> (e.P.group, Node_id.to_int e.P.origin, e.P.event)) out.chain
     in
     let prefix_consistent =
       let rec pairs = function
@@ -602,21 +597,22 @@ module Total_order_str = struct
       pairs chains
     in
     {
-      rounds = Net.round net;
-      delivered_msgs = Metrics.delivered (Net.metrics net);
+      rounds = o.H.rounds;
+      delivered_msgs = o.H.delivered_msgs;
       chains;
       prefix_consistent;
-      chain_lengths = List.map (fun (_, o) -> List.length o.P.chain) chains;
+      chain_lengths = List.map (fun (_, out) -> List.length out.P.chain) chains;
       frontier_lags =
         List.map
-          (fun (_, (o : P.chain_output)) -> o.logical_round - o.frontier)
+          (fun (_, (out : P.chain_output)) -> out.logical_round - out.frontier)
           chains;
       events_submitted = !events_submitted;
     }
 end
 
 module Renaming_run = struct
-  module Net = Network.Make (Renaming)
+  module H = Harness.Make (Renaming)
+  module Net = H.Net
 
   type summary = {
     n : int;
@@ -635,40 +631,40 @@ module Renaming_run = struct
     in
     let correct = List.map (fun id -> (id, ())) correct_ids in
     let byzantine = List.combine byz_ids byz in
-    let net = Net.create ~seed ~correct ~byzantine () in
-    let finished = Net.run ~max_rounds net in
-    let outputs = Net.outputs net in
+    let o = H.execute ~seed ~max_rounds ~correct ~byzantine () in
+    let outputs = o.H.outputs in
     let consistent =
       match outputs with
       | [] -> false
       | (_, first) :: rest ->
           List.for_all
-            (fun (_, (o : Renaming.output)) -> o.names = first.Renaming.names)
+            (fun (_, (out : Renaming.output)) -> out.names = first.Renaming.names)
             rest
           && List.length outputs = List.length correct_ids
     in
     let names_are_dense =
       List.for_all
-        (fun (_, (o : Renaming.output)) ->
-          let ranks = List.map snd o.names |> List.sort Int.compare in
+        (fun (_, (out : Renaming.output)) ->
+          let ranks = List.map snd out.names |> List.sort Int.compare in
           ranks = List.init (List.length ranks) (fun i -> i + 1))
         outputs
     in
     {
       n = n_correct + List.length byz;
       f = List.length byz;
-      rounds = Net.round net;
-      delivered_msgs = Metrics.delivered (Net.metrics net);
+      rounds = o.H.rounds;
+      delivered_msgs = o.H.delivered_msgs;
       outputs;
       consistent;
       names_are_dense;
-      all_terminated = finished = `All_halted;
+      all_terminated = o.H.finished = `All_halted;
     }
 end
 
 module Trb_str = struct
   module P = Terminating_rb.Make (Value.String)
-  module Net = Network.Make (P)
+  module H = Harness.Make (P)
+  module Net = H.Net
 
   type summary = {
     n : int;
@@ -699,23 +695,22 @@ module Trb_str = struct
         correct_ids
     in
     let byzantine = List.combine byz_ids byz in
-    let net = Net.create ~seed ~correct ~byzantine () in
-    let finished = Net.run ~max_rounds net in
-    let outputs = Net.outputs net in
+    let o = H.execute ~seed ~max_rounds ~correct ~byzantine () in
+    let outputs = o.H.outputs in
     let agreed =
       match outputs with
       | [] -> false
       | (_, first) :: rest ->
-          List.for_all (fun (_, o) -> o = first) rest
+          List.for_all (fun (_, out) -> out = first) rest
           && List.length outputs = List.length correct_ids
     in
     {
       n = n_correct + List.length byz;
       f = List.length byz;
-      rounds = Net.round net;
-      delivered_msgs = Metrics.delivered (Net.metrics net);
+      rounds = o.H.rounds;
+      delivered_msgs = o.H.delivered_msgs;
       outputs;
       agreed;
-      all_terminated = finished = `All_halted;
+      all_terminated = o.H.finished = `All_halted;
     }
 end

@@ -93,7 +93,10 @@ module Make (P : Protocol.S) = struct
     let rec go seen = function
       | [] -> []
       | ((src, payload) as m) :: rest ->
-          if List.exists (fun (s, p) -> Node_id.equal s src && p = payload) seen
+          if
+            List.exists
+              (fun (s, p) -> Node_id.equal s src && P.equal_message p payload)
+              seen
           then go seen rest
           else m :: go (m :: seen) rest
     in

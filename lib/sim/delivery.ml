@@ -1,0 +1,101 @@
+open Ubpa_util
+
+type impl = Indexed | Naive
+
+let by_sender (a, _) (b, _) = Node_id.compare a b
+
+(* Seed-engine core, kept as the executable specification. The final
+   [List.sort] is OCaml's stable sort, so same-sender messages stay in
+   send order — the indexed core must match that, not just the multiset. *)
+let route_reference ~equal ~present ~envelopes =
+  let inboxes : (Node_id.t * 'm) list ref Node_id.Map.t =
+    Node_id.Set.fold
+      (fun id acc -> Node_id.Map.add id (ref []) acc)
+      present Node_id.Map.empty
+  in
+  let delivered = ref 0 in
+  let push recipient (env : 'm Envelope.t) =
+    match Node_id.Map.find_opt recipient inboxes with
+    | None -> ()
+    | Some box ->
+        let dup =
+          List.exists
+            (fun (src, payload) ->
+              Node_id.equal src env.src && equal payload env.payload)
+            !box
+        in
+        if not dup then begin
+          box := (env.src, env.payload) :: !box;
+          incr delivered
+        end
+  in
+  List.iter
+    (fun (env : 'm Envelope.t) ->
+      match env.dst with
+      | Envelope.To id -> push id env
+      | Envelope.Broadcast -> Node_id.Set.iter (fun id -> push id env) present)
+    envelopes;
+  let sorted = Node_id.Map.map (fun box -> List.sort by_sender (List.rev !box)) inboxes in
+  (sorted, !delivered)
+
+(* Per-recipient delivery bucket: items newest-first, plus a sender-keyed
+   table of the payloads already delivered so the dup check scans only one
+   sender's distinct payloads instead of the whole inbox. *)
+type 'm box = {
+  mutable rev_items : (Node_id.t * 'm) list;
+  seen : (Node_id.t, 'm list) Hashtbl.t;
+}
+
+let route_indexed ~equal ~present ~envelopes =
+  let n = Node_id.Set.cardinal present in
+  let boxes : (Node_id.t, _ box) Hashtbl.t = Hashtbl.create (max 16 (2 * n)) in
+  Node_id.Set.iter
+    (fun id ->
+      Hashtbl.replace boxes id { rev_items = []; seen = Hashtbl.create 8 })
+    present;
+  let delivered = ref 0 in
+  let push box src payload =
+    let prior = Option.value ~default:[] (Hashtbl.find_opt box.seen src) in
+    if not (List.exists (equal payload) prior) then begin
+      Hashtbl.replace box.seen src (payload :: prior);
+      box.rev_items <- (src, payload) :: box.rev_items;
+      incr delivered
+    end
+  in
+  (* Sender-level broadcast dedup: the present set is fixed for the round,
+     so a repeated broadcast from the same sender cannot deliver anything
+     the first copy did not (any interleaved unicast of the same payload is
+     caught by the per-recipient check either way). *)
+  let bcast_seen : (Node_id.t, 'm list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (env : 'm Envelope.t) ->
+      match env.dst with
+      | Envelope.To id -> (
+          match Hashtbl.find_opt boxes id with
+          | None -> ()
+          | Some box -> push box env.src env.payload)
+      | Envelope.Broadcast ->
+          let prior =
+            Option.value ~default:[] (Hashtbl.find_opt bcast_seen env.src)
+          in
+          if not (List.exists (equal env.payload) prior) then begin
+            Hashtbl.replace bcast_seen env.src (env.payload :: prior);
+            Node_id.Set.iter
+              (fun id -> push (Hashtbl.find boxes id) env.src env.payload)
+              present
+          end)
+    envelopes;
+  let inboxes =
+    Node_id.Set.fold
+      (fun id acc ->
+        let box = Hashtbl.find boxes id in
+        let sorted = List.stable_sort by_sender (List.rev box.rev_items) in
+        Node_id.Map.add id sorted acc)
+      present Node_id.Map.empty
+  in
+  (inboxes, !delivered)
+
+let route ~impl =
+  match impl with
+  | Indexed -> route_indexed
+  | Naive -> route_reference

@@ -1,0 +1,53 @@
+(** Per-round message delivery cores.
+
+    Both cores implement the same delivery contract over one round's worth
+    of envelopes:
+
+    - only nodes in [present] receive anything;
+    - a recipient sees at most one copy of each [(sender, payload)] pair,
+      where payload equality is the protocol's [equal_message];
+    - each inbox is sorted by sender id, with messages from the same sender
+      kept in send order;
+    - the returned count is the number of (deduplicated) deliveries, i.e.
+      the total length of all inboxes.
+
+    {!route_reference} is the seed engine's list-scan implementation, kept
+    verbatim as an executable specification: the differential test replays
+    randomized traffic through both cores, and the PERF experiment races
+    them head to head. {!route_indexed} is engine v2 — single pass over the
+    envelopes with hash-keyed dedup, plus sender-level suppression of
+    repeated broadcast envelopes before fan-out. *)
+
+open Ubpa_util
+
+type impl = Indexed  (** Engine v2 (default). *) | Naive  (** Seed engine. *)
+
+val route_indexed :
+  equal:('m -> 'm -> bool) ->
+  present:Node_id.Set.t ->
+  envelopes:'m Envelope.t list ->
+  (Node_id.t * 'm) list Node_id.Map.t * int
+(** Single-pass bucketed delivery. Per recipient, a hash table keyed by
+    sender holds the payloads already delivered from that sender, so each
+    push costs a lookup plus a scan of that sender's (few) distinct
+    payloads instead of a scan of the whole inbox. A repeated broadcast
+    envelope — same sender, [equal] payload — is dropped before fan-out:
+    since the present set is fixed for the round, it could not deliver
+    anything the first copy did not. [envelopes] must be in send order. *)
+
+val route_reference :
+  equal:('m -> 'm -> bool) ->
+  present:Node_id.Set.t ->
+  envelopes:'m Envelope.t list ->
+  (Node_id.t * 'm) list Node_id.Map.t * int
+(** The seed engine's core: list inboxes, linear duplicate scan per push.
+    Quadratic in per-recipient traffic; bit-for-bit the same result as
+    {!route_indexed}. *)
+
+val route :
+  impl:impl ->
+  equal:('m -> 'm -> bool) ->
+  present:Node_id.Set.t ->
+  envelopes:'m Envelope.t list ->
+  (Node_id.t * 'm) list Node_id.Map.t * int
+(** Dispatch on [impl]. *)

@@ -29,6 +29,7 @@ module Make (P : Protocol.S) = struct
 
   type t = {
     rushing : bool;
+    delivery : Delivery.impl;
     rng : Rng.t;
     tr : Trace.t;
     classify : (P.message -> string) option;
@@ -44,11 +45,13 @@ module Make (P : Protocol.S) = struct
 
   let no_stimulus ~round:_ _ = []
 
-  let create ?(rushing = true) ?(seed = 0xbadc0ffeeL) ?(trace = Trace.disabled)
-      ?classify ?(stimulus = no_stimulus) ~correct ~byzantine () =
+  let create ?(rushing = true) ?(delivery = Delivery.Indexed)
+      ?(seed = 0xbadc0ffeeL) ?(trace = Trace.disabled) ?classify
+      ?(stimulus = no_stimulus) ~correct ~byzantine () =
     let t =
       {
         rushing;
+        delivery;
         rng = Rng.create seed;
         tr = trace;
         classify;
@@ -130,40 +133,15 @@ module Make (P : Protocol.S) = struct
 
   (* Deliver pending envelopes to the nodes present this round. Returns a map
      from recipient to its inbox sorted by sender id. Duplicate
-     (sender, payload) pairs for the same recipient are dropped. *)
+     (sender, payload) pairs for the same recipient are dropped, with payload
+     equality decided by [P.equal_message]. *)
   let deliver t ~present =
-    let inboxes : (Node_id.t * P.message) list ref Node_id.Map.t =
-      Node_id.Set.fold
-        (fun id acc -> Node_id.Map.add id (ref []) acc)
-        present Node_id.Map.empty
+    let inboxes, delivered =
+      Delivery.route ~impl:t.delivery ~equal:P.equal_message ~present
+        ~envelopes:(List.rev t.pending)
     in
-    let delivered = ref 0 in
-    let push recipient (env : P.message Envelope.t) =
-      match Node_id.Map.find_opt recipient inboxes with
-      | None -> ()
-      | Some box ->
-          let dup =
-            List.exists
-              (fun (src, payload) ->
-                Node_id.equal src env.src && payload = env.payload)
-              !box
-          in
-          if not dup then begin
-            box := (env.src, env.payload) :: !box;
-            incr delivered
-          end
-    in
-    List.iter
-      (fun (env : P.message Envelope.t) ->
-        match env.dst with
-        | Envelope.To id -> push id env
-        | Envelope.Broadcast -> Node_id.Set.iter (fun id -> push id env) present)
-      (List.rev t.pending);
-    Metrics.record_delivered t.metrics ~round:t.round !delivered;
-    Node_id.Map.map
-      (fun box ->
-        List.sort (fun (a, _) (b, _) -> Node_id.compare a b) (List.rev !box))
-      inboxes
+    Metrics.record_delivered t.metrics ~round:t.round delivered;
+    inboxes
 
   let step_round_untimed t =
     t.round <- t.round + 1;
@@ -236,6 +214,7 @@ module Make (P : Protocol.S) = struct
             byzantine = byz_now;
             inbox = inbox_of b.b_id;
             rushing = rushing_view;
+            equal_message = P.equal_message;
           }
         in
         List.iter
@@ -252,25 +231,36 @@ module Make (P : Protocol.S) = struct
     t.pending <- !byz_sends @ !correct_sends
 
   let step_round t =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_ms () in
     step_round_untimed t;
     Metrics.record_round_time t.metrics ~round:t.round
-      ((Unix.gettimeofday () -. t0) *. 1000.)
+      (Clock.elapsed_ms ~since:t0)
 
   let all_halted t =
     Node_id.Map.for_all (fun _ n -> n.c_halted_at <> None) t.correct
     && t.queued_joins = []
 
+  let has_correct t =
+    (not (Node_id.Map.is_empty t.correct))
+    || List.exists
+         (function Join_correct _ -> true | Join_byzantine _ -> false)
+         t.queued_joins
+
   let run ?(max_rounds = 10_000) t =
-    let rec go () =
-      if all_halted t then `All_halted
-      else if t.round >= max_rounds then `Max_rounds_reached
-      else begin
-        step_round t;
-        go ()
-      end
-    in
-    go ()
+    (* Correct nodes are never removed and [run] itself admits no joins, so
+       a network with no correct node (present or queued) stays that way:
+       report it instead of vacuously claiming everyone halted. *)
+    if not (has_correct t) then `No_correct_nodes
+    else
+      let rec go () =
+        if all_halted t then `All_halted
+        else if t.round >= max_rounds then `Max_rounds_reached
+        else begin
+          step_round t;
+          go ()
+        end
+      in
+      go ()
 
   let run_until ?(max_rounds = 10_000) t ~stop =
     let rec go () =

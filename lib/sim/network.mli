@@ -30,6 +30,7 @@ module Make (P : Protocol.S) : sig
 
   val create :
     ?rushing:bool ->
+    ?delivery:Delivery.impl ->
     ?seed:int64 ->
     ?trace:Trace.t ->
     ?classify:(P.message -> string) ->
@@ -39,7 +40,10 @@ module Make (P : Protocol.S) : sig
     unit ->
     t
   (** All listed nodes join in round 1. Identifiers must be distinct across
-      both lists. *)
+      both lists. [delivery] selects the delivery core (default
+      {!Delivery.Indexed}; {!Delivery.Naive} keeps the seed engine's
+      list-scan core — same results, slower — for differential testing and
+      head-to-head benchmarks). *)
 
   (** {2 Dynamic membership} *)
 
@@ -56,9 +60,16 @@ module Make (P : Protocol.S) : sig
   val step_round : t -> unit
   (** Execute one synchronous round. *)
 
-  val run : ?max_rounds:int -> t -> [ `All_halted | `Max_rounds_reached ]
+  val run :
+    ?max_rounds:int ->
+    t ->
+    [ `All_halted | `Max_rounds_reached | `No_correct_nodes ]
   (** Step until every correct node halted. [max_rounds] (default 10_000)
-      bounds non-terminating protocols. *)
+      bounds non-terminating protocols. A network with no correct node —
+      present or queued to join — returns [`No_correct_nodes] without
+      stepping: "all correct nodes halted" would be vacuous, and since
+      correct nodes are never removed and [run] admits no new joins, the
+      condition cannot change mid-run. *)
 
   val run_until : ?max_rounds:int -> t -> stop:(t -> bool) -> [ `Stopped | `Max_rounds_reached ]
   (** Step until [stop] holds (checked after each round). *)

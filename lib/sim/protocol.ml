@@ -3,8 +3,10 @@
     A protocol is a deterministic state machine driven once per synchronous
     round. Messages handed to [step] at round [r] are exactly those sent in
     round [r - 1] (with per-round duplicates from the same sender removed).
-    Messages must be pure, structurally comparable data — the engine and the
-    tallies rely on polymorphic comparison. *)
+    Messages must be pure, structurally comparable data; each protocol names
+    its own message order through {!S.compare_message}/{!S.equal_message}
+    (use {!Structural} for the plain structural default), so the engine
+    never applies polymorphic comparison to opaque state. *)
 
 open Ubpa_util
 
@@ -42,7 +44,28 @@ module type S = sig
     inbox:(Node_id.t * message) list ->
     state * (Envelope.dest * message) list * output status
 
+  val compare_message : message -> message -> int
+  (** Total order on messages. Used by generic tooling that needs ordered
+      or keyed message collections. *)
+
+  val equal_message : message -> message -> bool
+  (** Message equality, consistent with {!compare_message}. The engine's
+      delivery core uses it for the per-round per-recipient
+      [(sender, payload)] dedup. *)
+
   val pp_message : message Fmt.t
+end
+
+(** The pre-engine-v2 default: plain structural (polymorphic) comparison.
+    Correct for any message type built from immutable non-float
+    constructors; protocols whose messages carry abstract or float-valued
+    components should spell out their own comparators instead. *)
+module Structural (M : sig
+  type t
+end) =
+struct
+  let compare_message : M.t -> M.t -> int = Stdlib.compare
+  let equal_message : M.t -> M.t -> bool = Stdlib.( = )
 end
 
 module No_stimulus = struct

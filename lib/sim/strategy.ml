@@ -7,6 +7,7 @@ type 'm view = {
   byzantine : Node_id.t list;
   inbox : (Node_id.t * 'm) list;
   rushing : (Node_id.t * Envelope.dest * 'm) list;
+  equal_message : 'm -> 'm -> bool;
 }
 
 type 'm t = {

@@ -18,6 +18,10 @@ type 'm view = {
   rushing : (Node_id.t * Envelope.dest * 'm) list;
       (** Messages correct nodes are sending this round ([] when the engine
           runs non-rushing). *)
+  equal_message : 'm -> 'm -> bool;
+      (** The protocol's message equality ({!Protocol.S.equal_message}),
+          supplied by the engine so strategies that filter or dedup observed
+          messages never fall back to polymorphic [=]. *)
 }
 
 type 'm t = {

@@ -1,0 +1,13 @@
+(* The switch has no mtime/clock_gettime binding, so the monotonic source
+   is a clamped gettimeofday: a backwards step of the system clock freezes
+   the reading instead of rewinding it. Single-threaded by design (the
+   whole simulator is). *)
+
+let last = ref neg_infinity
+
+let now_ms () =
+  let t = Unix.gettimeofday () *. 1000. in
+  if t > !last then last := t;
+  !last
+
+let elapsed_ms ~since = Float.max 0. (now_ms () -. since)

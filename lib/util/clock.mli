@@ -1,0 +1,14 @@
+(** Monotonic wall-clock shim.
+
+    The simulator stamps per-round wall-clock durations into {!Metrics};
+    [Unix.gettimeofday] can jump backwards under NTP adjustment, producing
+    negative round timings. This shim monotonizes the wall clock: reads are
+    clamped to never decrease, so durations computed as differences of
+    {!now_ms} values are always non-negative. *)
+
+val now_ms : unit -> float
+(** Milliseconds from an arbitrary epoch. Non-decreasing across calls
+    within a process, even if the system clock is stepped backwards. *)
+
+val elapsed_ms : since:float -> float
+(** [elapsed_ms ~since:t0] is [now_ms () -. t0], clamped to [>= 0.]. *)

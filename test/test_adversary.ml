@@ -75,6 +75,7 @@ let probe_view ~round ~correct : int Strategy.view =
     byzantine = [];
     inbox = [];
     rushing = [];
+    equal_message = Int.equal;
   }
 
 let test_subset_rerouting () =

@@ -1,0 +1,202 @@
+(* Engine v2 delivery core: differential tests against the seed core.
+
+   [Delivery.route_reference] is the seed engine's list-scan delivery kept
+   verbatim as an executable specification; these tests replay randomized
+   traffic through it and [Delivery.route_indexed] and require bit-for-bit
+   identical inboxes and delivery counts, then repeat the comparison at the
+   network level with full protocol runs under both cores. *)
+
+open Ubpa_util
+open Ubpa_sim
+
+let id i = Node_id.of_int i
+
+(* ----- randomized traffic through both cores ----- *)
+
+(* One round's worth of traffic: a universe of nodes of which a random
+   subset is present (models halted / not-yet-joined recipients), unicasts
+   and broadcasts in random proportion, with deliberate duplicate sends —
+   same (sender, payload) repeated as broadcast, as unicast, and as a
+   broadcast/unicast mix. *)
+let random_traffic rng =
+  let universe = 2 + Rng.int rng 9 in
+  let ids = List.init universe id in
+  let present =
+    List.filter (fun _ -> Rng.int rng 4 > 0) ids |> Node_id.Set.of_list
+  in
+  let n_msgs = Rng.int rng 60 in
+  let envelopes =
+    List.concat_map
+      (fun _ ->
+        let src = Rng.pick rng ids in
+        (* Small payload space so duplicates are common. *)
+        let payload = Rng.int rng 5 in
+        let env =
+          if Rng.bool rng then Envelope.broadcast ~src payload
+          else Envelope.send ~src ~dst:(Rng.pick rng ids) payload
+        in
+        (* Occasionally send the exact same envelope again back to back. *)
+        if Rng.int rng 4 = 0 then [ env; env ] else [ env ])
+      (List.init n_msgs Fun.id)
+  in
+  (present, envelopes)
+
+let check_same ~present ~envelopes =
+  let ref_inboxes, ref_count =
+    Delivery.route_reference ~equal:Int.equal ~present ~envelopes
+  in
+  let idx_inboxes, idx_count =
+    Delivery.route_indexed ~equal:Int.equal ~present ~envelopes
+  in
+  Alcotest.(check int) "delivered count" ref_count idx_count;
+  Alcotest.(check bool)
+    "inboxes identical" true
+    (Node_id.Map.equal
+       (fun a b ->
+         List.length a = List.length b
+         && List.for_all2
+              (fun (s1, p1) (s2, p2) -> Node_id.equal s1 s2 && p1 = p2)
+              a b)
+       ref_inboxes idx_inboxes)
+
+let test_differential_random () =
+  let rng = Rng.create 0xD311FEA7L in
+  for _ = 1 to 300 do
+    let present, envelopes = random_traffic rng in
+    check_same ~present ~envelopes
+  done
+
+let test_differential_adversarial () =
+  (* Hand-built worst cases for the dedup keying. *)
+  let present = Node_id.Set.of_list [ id 0; id 1; id 2 ] in
+  let b = Envelope.broadcast in
+  let u = Envelope.send in
+  let cases =
+    [
+      (* Same payload broadcast twice by the same sender: one delivery each. *)
+      [ b ~src:(id 0) 7; b ~src:(id 0) 7 ];
+      (* Same payload from two senders: both delivered (keyed by sender). *)
+      [ b ~src:(id 0) 7; b ~src:(id 1) 7 ];
+      (* Unicast then broadcast of the same (sender, payload): the broadcast
+         must still reach the recipients the unicast missed. *)
+      [ u ~src:(id 0) ~dst:(id 1) 7; b ~src:(id 0) 7 ];
+      (* Broadcast then duplicate unicast: the unicast adds nothing. *)
+      [ b ~src:(id 0) 7; u ~src:(id 0) ~dst:(id 2) 7 ];
+      (* Unicast to an absent node only. *)
+      [ u ~src:(id 0) ~dst:(id 9) 7 ];
+      (* Sender not present still delivers (rushing nodes may have halted). *)
+      [ b ~src:(id 9) 3 ];
+      [];
+    ]
+  in
+  List.iter (fun envelopes -> check_same ~present ~envelopes) cases
+
+let test_inbox_order () =
+  (* Inboxes are sorted by sender, same-sender messages in send order. *)
+  let present = Node_id.Set.of_list [ id 0 ] in
+  let envelopes =
+    [
+      Envelope.broadcast ~src:(id 2) 20;
+      Envelope.broadcast ~src:(id 1) 10;
+      Envelope.broadcast ~src:(id 2) 21;
+      Envelope.broadcast ~src:(id 1) 11;
+    ]
+  in
+  let inboxes, _ =
+    Delivery.route_indexed ~equal:Int.equal ~present ~envelopes
+  in
+  Alcotest.(check (list (pair int int)))
+    "sender-sorted, send order within sender"
+    [ (1, 10); (1, 11); (2, 20); (2, 21) ]
+    (List.map
+       (fun (s, p) -> (Node_id.to_int s, p))
+       (Node_id.Map.find (id 0) inboxes))
+
+(* ----- full protocol runs under both engines ----- *)
+
+module C = Unknown_ba.Consensus.Make (Unknown_ba.Value.Int)
+module Net = Network.Make (C)
+module A = Ubpa_adversary.Consensus_attacks.Make (Unknown_ba.Value.Int)
+
+let consensus_run ~delivery =
+  let ids = Node_id.scatter ~seed:41L 10 in
+  let correct_ids = List.filteri (fun i _ -> i < 8) ids in
+  let byz_ids = List.filteri (fun i _ -> i >= 8) ids in
+  let net =
+    Net.create ~delivery
+      ~correct:(List.mapi (fun i nid -> (nid, i mod 2)) correct_ids)
+      ~byzantine:(List.map (fun nid -> (nid, A.split_world 0 1)) byz_ids)
+      ()
+  in
+  let finished = Net.run ~max_rounds:300 net in
+  (finished, Net.round net, Metrics.delivered (Net.metrics net),
+   Net.outputs net)
+
+let test_engine_equivalence () =
+  let f1, r1, d1, o1 = consensus_run ~delivery:Delivery.Indexed in
+  let f2, r2, d2, o2 = consensus_run ~delivery:Delivery.Naive in
+  Alcotest.(check bool) "both halted" true (f1 = `All_halted && f2 = `All_halted);
+  Alcotest.(check int) "same rounds" r2 r1;
+  Alcotest.(check int) "same deliveries" d2 d1;
+  Alcotest.(check (list (pair int int)))
+    "same decisions"
+    (List.map (fun (nid, v) -> (Node_id.to_int nid, v)) o2)
+    (List.map (fun (nid, v) -> (Node_id.to_int nid, v)) o1)
+
+(* ----- zero-correct-node networks ----- *)
+
+let test_no_correct_nodes () =
+  let empty = Net.create ~correct:[] ~byzantine:[] () in
+  Alcotest.(check bool)
+    "empty network" true
+    (Net.run empty = `No_correct_nodes);
+  let byz_only =
+    Net.create ~correct:[]
+      ~byzantine:
+        (List.map
+           (fun nid -> (nid, A.split_world 0 1))
+           (Node_id.scatter ~seed:42L 3))
+      ()
+  in
+  Alcotest.(check bool)
+    "byzantine-only network" true
+    (Net.run byz_only = `No_correct_nodes);
+  Alcotest.(check int) "no rounds consumed" 0 (Net.round byz_only)
+
+let test_queued_join_still_runs () =
+  (* A queued correct join means the run is not vacuous. *)
+  let net = Net.create ~correct:[] ~byzantine:[] () in
+  Net.join_correct net (id 1) 0;
+  Alcotest.(check bool)
+    "queued correct join runs" true
+    (Net.run ~max_rounds:50 net <> `No_correct_nodes)
+
+(* ----- clock shim ----- *)
+
+let test_clock_monotonic () =
+  let prev = ref (Clock.now_ms ()) in
+  for _ = 1 to 1000 do
+    let t = Clock.now_ms () in
+    Alcotest.(check bool) "now_ms non-decreasing" true (t >= !prev);
+    prev := t
+  done;
+  Alcotest.(check bool)
+    "elapsed_ms clamps to >= 0" true
+    (Clock.elapsed_ms ~since:(!prev +. 1e9) >= 0.)
+
+let suite =
+  ( "delivery",
+    [
+      Alcotest.test_case "differential: randomized traffic" `Quick
+        test_differential_random;
+      Alcotest.test_case "differential: adversarial dedup cases" `Quick
+        test_differential_adversarial;
+      Alcotest.test_case "inbox ordering" `Quick test_inbox_order;
+      Alcotest.test_case "engine equivalence: full consensus run" `Quick
+        test_engine_equivalence;
+      Alcotest.test_case "run on zero-correct network" `Quick
+        test_no_correct_nodes;
+      Alcotest.test_case "queued correct join is not vacuous" `Quick
+        test_queued_join_still_runs;
+      Alcotest.test_case "clock shim is monotonic" `Quick test_clock_monotonic;
+    ] )

@@ -5,6 +5,7 @@ let () =
       Test_json.suite;
       Test_report.suite;
       Test_sim.suite;
+      Test_delivery.suite;
       Test_rb.suite;
       Test_rotor.suite;
       Test_consensus.suite;

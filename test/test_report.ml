@@ -111,6 +111,30 @@ let test_compare_incomparable_sweeps () =
   check_true "fast-vs-full sweeps skip the metric gate"
     (Diff.failures issues = [])
 
+let test_exact_gate () =
+  let base = mk () in
+  check_true "exact mode passes on identical tables"
+    (Diff.failures
+       (Diff.compare ~exact:true ~baseline:[ base ] ~candidate:[ base ] ())
+    = []);
+  (* A one-cell drift is invisible to the metric gate at default threshold
+     (48 -> 49 is ~2% growth) but must fail the exact gate. *)
+  let drifted = mk ~rows:[ [ "4"; "yes"; "49" ]; [ "7"; "yes"; "147" ] ] () in
+  check_true "cell drift passes the threshold gate"
+    (Diff.failures
+       (Diff.compare ~baseline:[ base ] ~candidate:[ drifted ] ())
+    = []);
+  check_true "cell drift fails the exact gate"
+    (Diff.failures
+       (Diff.compare ~exact:true ~baseline:[ base ] ~candidate:[ drifted ] ())
+    <> []);
+  (* Wall-clock metadata stays exempt even in exact mode. *)
+  let slower = mk ~elapsed_ms:9999. () in
+  check_true "elapsed_ms is exempt from the exact gate"
+    (Diff.failures
+       (Diff.compare ~exact:true ~baseline:[ base ] ~candidate:[ slower ] ())
+    = [])
+
 let test_time_gate_opt_in () =
   let base = mk ~elapsed_ms:10. () in
   let cand = mk ~elapsed_ms:100. () in
@@ -134,5 +158,6 @@ let suite =
       quick "diff: metric regression fails" test_compare_metric_regression;
       quick "diff: missing experiment fails" test_compare_missing_experiment;
       quick "diff: incomparable sweeps are skipped" test_compare_incomparable_sweeps;
+      quick "diff: exact mode is a refactor gate" test_exact_gate;
       quick "diff: wall-clock gate is opt-in" test_time_gate_opt_in;
     ] )

@@ -89,6 +89,10 @@ module Probe = struct
   let init ~self:_ ~round:_ () = { log = []; r = 0 }
   let pp_message ppf (Ping r) = Fmt.pf ppf "ping(%d)" r
 
+  include Protocol.Structural (struct
+    type t = message
+  end)
+
   let step ~self:_ ~round ~stim:_ st ~inbox =
     st.r <- round;
     List.iter (fun (src, Ping k) -> st.log <- (round, src, k) :: st.log) inbox;

@@ -22,6 +22,10 @@ module Probe = struct
     { lifetime; log = []; steps = 0 }
   let pp_message ppf (Ping r) = Fmt.pf ppf "ping(%d)" r
 
+  include Protocol.Structural (struct
+    type t = message
+  end)
+
   let step ~self:_ ~round ~stim:_ st ~inbox =
     st.steps <- st.steps + 1;
     List.iter
