@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-fast bench-csv bench-json bench-check \
-	bench-baseline bench-gate fmt fmt-check examples clean
+	bench-baseline bench-gate chaos fmt fmt-check examples clean
 
 all: build
 
@@ -42,6 +42,13 @@ bench-baseline:
 bench-gate:
 	dune exec bench/main.exe -- --fast --no-timing --json results/json-fast/
 	dune exec bin/bench_diff.exe -- --exact bench/baseline results/json-fast/
+
+# Fixed-seed chaos smoke sweep: randomized benign-fault schedules under
+# the online safety monitors, per protocol and fault budget. Within the
+# proven envelope every monitor must stay green; the over-budget end
+# degrades with a first-violation report. See EXPERIMENTS.md (R1).
+chaos:
+	dune exec bin/ubpa_cli.exe -- chaos
 
 fmt:
 	dune build @fmt --auto-promote

@@ -382,12 +382,16 @@ let trace_cmd =
     let byzantine = List.map (fun id -> (id, A.split_world 0 1)) byz_ids in
     let trace = Trace.create ~live:(not timeline) () in
     let o = H.execute ~trace ~max_rounds:200 ~correct ~byzantine () in
-    (match o.H.finished with
-    | `All_halted | `Stopped -> ()
-    | `Max_rounds_reached -> Fmt.epr "did not terminate@."
-    | `No_correct_nodes -> assert false);
+    let stalled =
+      match o.H.finished with
+      | `All_halted | `Stopped -> []
+      | `Max_rounds_reached stalled ->
+          Fmt.epr "did not terminate@.";
+          stalled
+      | `No_correct_nodes -> assert false
+    in
     if timeline then
-      Fmt.pr "%s@." (Timeline.to_string (Timeline.of_trace trace))
+      Fmt.pr "%s@." (Timeline.to_string ~stalled (Timeline.of_trace trace))
     else
       Fmt.pr "@.%d trace events@." (List.length (Trace.events trace));
     Fmt.pr "decisions:@.";
@@ -400,6 +404,74 @@ let trace_cmd =
        ~doc:"Run a small consensus with a live message-level trace or an \
              ASCII timeline")
     Term.(const run $ n_t $ f_t $ seed_t $ timeline_t)
+
+(* ----- chaos sweep ----- *)
+
+let chaos_cmd =
+  let protocol_t =
+    let doc =
+      "Protocol to sweep: all, consensus, rb, or aa (default all)."
+    in
+    Arg.(
+      value
+      & opt (enum (("all", None) :: List.map (fun p -> (p, Some p)) Chaos_runs.protocols)) None
+      & info [ "protocol" ] ~docv:"PROTOCOL" ~doc)
+  in
+  let budgets_t =
+    let doc = "Fault budgets to sweep (victims per schedule)." in
+    Arg.(
+      value
+      & opt (list int) Chaos_runs.default_budgets
+      & info [ "budgets" ] ~docv:"B1,B2,.." ~doc)
+  in
+  let runs_t =
+    let doc = "Randomized schedules per (protocol, budget) point." in
+    Arg.(
+      value
+      & opt int Chaos_runs.default_seeds_per_budget
+      & info [ "runs" ] ~docv:"K" ~doc)
+  in
+  let run protocol budgets runs seed =
+    let protocols =
+      match protocol with None -> Chaos_runs.protocols | Some p -> [ p ]
+    in
+    let rows, records =
+      Chaos_runs.sweep ~protocols ~budgets ~seeds_per_budget:runs
+        ~base_seed:(i64 seed) ()
+    in
+    Fmt.pr "%-10s %-7s %-9s %-5s %-9s %s@." "protocol" "budget" "envelope"
+      "green" "violated" "sample violation";
+    List.iter
+      (fun (r : Ubpa_harness.Chaos.row) ->
+        Fmt.pr "%-10s %-7d %-9s %d/%-3d %-9d %s@." r.protocol r.budget
+          (if r.within then "inside" else "outside")
+          r.green r.runs r.violated r.sample)
+      rows;
+    Fmt.pr "@.first violations:@.";
+    let any = ref false in
+    List.iter
+      (fun (rec_ : Chaos_runs.run_record) ->
+        match rec_.violation with
+        | None -> ()
+        | Some v ->
+            any := true;
+            Fmt.pr "  %-10s budget=%d seed=%Ld: %a@." rec_.protocol rec_.budget
+              rec_.seed Ubpa_monitor.pp_violation v)
+      records;
+    if not !any then Fmt.pr "  (none — every monitor green)@.";
+    Fmt.pr "@.";
+    List.iter
+      (fun p ->
+        match Ubpa_harness.Chaos.max_green_budget ~rows ~protocol:p with
+        | Some b -> Fmt.pr "%-10s max all-green budget: %d@." p b
+        | None -> Fmt.pr "%-10s degraded at every swept budget@." p)
+      protocols
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Seeded chaos sweep: randomized benign-fault schedules under \
+             online safety monitors, per fault budget")
+    Term.(const run $ protocol_t $ budgets_t $ runs_t $ seed_t)
 
 (* ----- impossibility ----- *)
 
@@ -461,5 +533,6 @@ let () =
             trb_cmd;
             order_cmd;
             trace_cmd;
+            chaos_cmd;
             impossibility_cmd;
           ]))

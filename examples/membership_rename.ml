@@ -26,7 +26,7 @@ let () =
   let net = Net.create ~seed:3L ~correct ~byzantine () in
   (match Net.run net with
   | `All_halted -> ()
-  | `Max_rounds_reached -> failwith "renaming did not terminate"
+  | `Max_rounds_reached _ -> failwith "renaming did not terminate"
   | `No_correct_nodes -> assert false);
 
   Fmt.pr "@.After %d rounds every node agrees on the slot table:@."

@@ -43,7 +43,7 @@ let () =
   let net = Net.create ~seed:7L ~correct ~byzantine () in
   (match Net.run net with
   | `All_halted -> ()
-  | `Max_rounds_reached -> failwith "consensus did not terminate"
+  | `Max_rounds_reached _ -> failwith "consensus did not terminate"
   | `No_correct_nodes -> assert false);
 
   Fmt.pr "@.After %d synchronous rounds:@." (Net.round net);

@@ -54,7 +54,7 @@ let () =
 
   (match Net.run net with
   | `All_halted -> ()
-  | `Max_rounds_reached -> failwith "sensors did not converge"
+  | `Max_rounds_reached _ -> failwith "sensors did not converge"
   | `No_correct_nodes -> assert false);
 
   Fmt.pr "@.After %d iterations:@." iterations;

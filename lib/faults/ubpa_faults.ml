@@ -1,0 +1,143 @@
+open Ubpa_util
+
+type benign =
+  | Crash of { at : int; recover : int option }
+  | Leave of { at : int; rejoin : int option }
+  | Send_omission of { first : int; last : int option; prob : float }
+  | Recv_omission of { first : int; last : int option; prob : float }
+
+type plan = {
+  node_faults : (Node_id.t * benign list) list;  (** ascending node id *)
+  loss : float;
+  dup : float;
+}
+
+let empty = { node_faults = []; loss = 0.; dup = 0. }
+let is_empty p = p.node_faults = [] && p.loss = 0. && p.dup = 0.
+
+let check_prob what p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Ubpa_faults: %s probability %g not in [0,1]" what p)
+
+let check_round what r =
+  if r < 1 then invalid_arg (Printf.sprintf "Ubpa_faults: %s round %d < 1" what r)
+
+let check_benign = function
+  | Crash { at; recover } ->
+      check_round "crash" at;
+      Option.iter
+        (fun r ->
+          if r <= at then invalid_arg "Ubpa_faults: recovery must be after the crash")
+        recover
+  | Leave { at; rejoin } ->
+      check_round "leave" at;
+      Option.iter
+        (fun r ->
+          if r <= at then invalid_arg "Ubpa_faults: rejoin must be after the leave")
+        rejoin
+  | Send_omission { first; last; prob } | Recv_omission { first; last; prob } ->
+      check_round "omission" first;
+      check_prob "omission" prob;
+      Option.iter
+        (fun l ->
+          if l < first then invalid_arg "Ubpa_faults: omission window ends before it starts")
+        last
+
+let make ?(loss = 0.) ?(dup = 0.) node_faults =
+  check_prob "loss" loss;
+  check_prob "dup" dup;
+  List.iter (fun (_, fs) -> List.iter check_benign fs) node_faults;
+  let ids = List.map fst node_faults in
+  if List.length (Node_id.sorted ids) <> List.length ids then
+    invalid_arg "Ubpa_faults: node listed twice";
+  let node_faults =
+    List.sort (fun (a, _) (b, _) -> Node_id.compare a b) node_faults
+  in
+  { node_faults; loss; dup }
+
+let crash ~at ?recover () = Crash { at; recover }
+let leave ~at ?rejoin () = Leave { at; rejoin }
+let send_omission ~first ?last ~prob () = Send_omission { first; last; prob }
+let recv_omission ~first ?last ~prob () = Recv_omission { first; last; prob }
+
+let loss p = p.loss
+let dup p = p.dup
+let victims p = List.map fst p.node_faults
+let benign_only p = p.loss = 0. && p.dup = 0.
+
+let faults_of p node =
+  match List.assoc_opt node p.node_faults with Some fs -> fs | None -> []
+
+let down_window ~round ~at ~upto =
+  round >= at && match upto with None -> true | Some r -> round < r
+
+let status p ~node ~round =
+  let fs = faults_of p node in
+  let left =
+    List.exists
+      (function
+        | Leave { at; rejoin } -> down_window ~round ~at ~upto:rejoin
+        | _ -> false)
+      fs
+  and crashed =
+    List.exists
+      (function
+        | Crash { at; recover } -> down_window ~round ~at ~upto:recover
+        | _ -> false)
+      fs
+  in
+  if left then `Left else if crashed then `Crashed else `Up
+
+let permanently_down p ~node ~round =
+  let fs = faults_of p node in
+  List.exists
+    (function
+      | Crash { at; recover = None } | Leave { at; rejoin = None } -> round >= at
+      | _ -> false)
+    fs
+
+let omission_prob select p ~node ~round =
+  List.fold_left
+    (fun acc f ->
+      match select f with
+      | Some (first, last, prob)
+        when round >= first
+             && (match last with None -> true | Some l -> round <= l) ->
+          Float.max acc prob
+      | _ -> 0. |> Float.max acc)
+    0. (faults_of p node)
+
+let send_omission_prob p ~node ~round =
+  omission_prob
+    (function Send_omission { first; last; prob } -> Some (first, last, prob) | _ -> None)
+    p ~node ~round
+
+let recv_omission_prob p ~node ~round =
+  omission_prob
+    (function Recv_omission { first; last; prob } -> Some (first, last, prob) | _ -> None)
+    p ~node ~round
+
+let pp_benign ppf = function
+  | Crash { at; recover = None } -> Fmt.pf ppf "crash@r%d" at
+  | Crash { at; recover = Some r } -> Fmt.pf ppf "crash@r%d..r%d" at (r - 1)
+  | Leave { at; rejoin = None } -> Fmt.pf ppf "leave@r%d" at
+  | Leave { at; rejoin = Some r } -> Fmt.pf ppf "leave@r%d..r%d" at (r - 1)
+  | Send_omission { first; last; prob } ->
+      Fmt.pf ppf "send-omit[r%d..%s]p=%.2f" first
+        (match last with None -> "" | Some l -> Printf.sprintf "r%d" l)
+        prob
+  | Recv_omission { first; last; prob } ->
+      Fmt.pf ppf "recv-omit[r%d..%s]p=%.2f" first
+        (match last with None -> "" | Some l -> Printf.sprintf "r%d" l)
+        prob
+
+let pp ppf p =
+  if is_empty p then Fmt.string ppf "(no faults)"
+  else begin
+    List.iter
+      (fun (id, fs) ->
+        Fmt.pf ppf "%a: %a@." Node_id.pp id (Fmt.list ~sep:Fmt.comma pp_benign) fs)
+      p.node_faults;
+    if p.loss > 0. then Fmt.pf ppf "loss: %.2f@." p.loss;
+    if p.dup > 0. then Fmt.pf ppf "dup: %.2f@." p.dup
+  end

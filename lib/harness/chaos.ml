@@ -1,0 +1,112 @@
+open Ubpa_util
+module F = Ubpa_faults
+
+type schedule = {
+  seed : int64;
+  budget : int;
+  victims : Node_id.t list;
+  plan : F.plan;
+}
+
+(* Every fault starts at round >= 2: round 1 is when inputs circulate, and
+   a node silenced from the very beginning is indistinguishable from one
+   that never joined — a different (and less interesting) experiment. *)
+let mixed_fault rng =
+  match Rng.int rng 6 with
+  | 0 -> F.crash ~at:(2 + Rng.int rng 5) ()
+  | 1 ->
+      let at = 2 + Rng.int rng 4 in
+      F.crash ~at ~recover:(at + 1 + Rng.int rng 3) ()
+  | 2 -> F.leave ~at:(2 + Rng.int rng 5) ()
+  | 3 ->
+      let at = 2 + Rng.int rng 4 in
+      F.leave ~at ~rejoin:(at + 1 + Rng.int rng 3) ()
+  | 4 ->
+      let first = 2 + Rng.int rng 3 in
+      F.send_omission ~first
+        ~last:(first + 2 + Rng.int rng 4)
+        ~prob:(0.5 +. Rng.float rng 0.5)
+        ()
+  | _ ->
+      let first = 2 + Rng.int rng 3 in
+      F.recv_omission ~first
+        ~last:(first + 2 + Rng.int rng 4)
+        ~prob:(0.5 +. Rng.float rng 0.5)
+        ()
+
+let schedule ?(style = `Mixed) ?(loss = 0.) ?(dup = 0.) ~seed ~correct_ids
+    ~budget () =
+  let rng = Rng.create seed in
+  let budget = min budget (List.length correct_ids) in
+  let victims =
+    List.filteri (fun i _ -> i < budget) (Rng.shuffle rng correct_ids)
+    |> Node_id.sorted
+  in
+  let node_faults =
+    List.map
+      (fun v ->
+        ( v,
+          [
+            (match style with
+            | `Mixed -> mixed_fault rng
+            | `Crash_blackout -> F.crash ~at:2 ());
+          ] ))
+      victims
+  in
+  { seed; budget; victims; plan = F.make ~loss ~dup node_faults }
+
+let within_envelope s ~n ~byz =
+  F.benign_only s.plan && s.budget + byz <= (n - 1) / 3
+
+type row = {
+  protocol : string;
+  budget : int;
+  byz : int;
+  n : int;
+  within : bool;
+  runs : int;
+  green : int;
+  violated : int;
+  reported : int;
+  sample : string;
+}
+
+let row ~protocol ~budget ~byz ~n ~within verdicts =
+  let runs = List.length verdicts in
+  let violations = List.filter_map Fun.id verdicts in
+  let violated = runs - List.length (List.filter (( = ) None) verdicts) in
+  let sample =
+    match violations with
+    | [] -> "-"
+    | (v : Ubpa_monitor.violation) :: _ ->
+        Printf.sprintf "%s@r%d" v.invariant v.round
+  in
+  {
+    protocol;
+    budget;
+    byz;
+    n;
+    within;
+    runs;
+    green = runs - violated;
+    violated;
+    (* every violated run that handed us a report; by construction of the
+       monitor these coincide, and the R1 claim checks exactly that *)
+    reported = List.length violations;
+    sample;
+  }
+
+let max_green_budget ~rows ~protocol =
+  let mine =
+    List.filter (fun r -> r.protocol = protocol) rows
+    |> List.sort (fun a b -> compare a.budget b.budget)
+  in
+  List.fold_left
+    (fun acc r ->
+      match acc with
+      | `Stopped best -> `Stopped best
+      | `Scanning best ->
+          if r.violated = 0 then `Scanning (Some r.budget) else `Stopped best)
+    (`Scanning None) mine
+  |> function
+  | `Scanning best | `Stopped best -> best

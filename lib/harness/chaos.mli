@@ -1,0 +1,70 @@
+(** Randomized fault schedules and graceful-degradation sweeps.
+
+    A {e schedule} picks a set of victim nodes and a benign fault for each
+    (plus, optionally, global loss/duplication), deterministically from a
+    seed. The {e budget} is the number of victims; a schedule is inside
+    the paper's proven envelope iff it is crash/omission-only and
+    [budget + #byzantine <= f] — benign faults are sub-Byzantine
+    behaviours, so the theorems continue to cover the non-victim nodes.
+    Protocol glue lives in [Ubpa_scenarios.Chaos_runs]; this module is
+    protocol-agnostic. *)
+
+open Ubpa_util
+
+type schedule = {
+  seed : int64;
+  budget : int;  (** Number of victims. *)
+  victims : Node_id.t list;
+  plan : Ubpa_faults.plan;
+}
+
+val schedule :
+  ?style:[ `Mixed | `Crash_blackout ] ->
+  ?loss:float ->
+  ?dup:float ->
+  seed:int64 ->
+  correct_ids:Node_id.t list ->
+  budget:int ->
+  unit ->
+  schedule
+(** Draw [budget] victims from [correct_ids] and one fault each, all
+    deterministic in [seed]. [`Mixed] (default) draws from the full benign
+    menu — crash-stop, crash-recover, leave, leave-and-rejoin, windowed
+    send/receive omission — with every fault round >= 2 so round-1 inputs
+    always circulate. [`Crash_blackout] crash-stops every victim at round
+    2 — the worst benign schedule, used by the over-budget sweep end so
+    degradation is deterministic, not luck. [loss]/[dup] (default 0) add
+    the global link faults, which leave the proven envelope for every
+    node. [budget] is capped at the population size. *)
+
+val within_envelope : schedule -> n:int -> byz:int -> bool
+(** Crash/omission-only and [budget + byz <= max_f n]. *)
+
+(** One row of a graceful-degradation table: all runs of one protocol at
+    one budget. *)
+type row = {
+  protocol : string;
+  budget : int;
+  byz : int;
+  n : int;
+  within : bool;
+  runs : int;
+  green : int;  (** Runs with every monitor green. *)
+  violated : int;  (** Runs with at least one violation. *)
+  reported : int;  (** Violated runs that produced a first-violation report. *)
+  sample : string;  (** One violation, ["invariant@rN"], or ["-"]. *)
+}
+
+val row :
+  protocol:string ->
+  budget:int ->
+  byz:int ->
+  n:int ->
+  within:bool ->
+  Ubpa_monitor.violation option list ->
+  row
+(** Aggregate per-run verdicts ([None] = green) into a {!row}. *)
+
+val max_green_budget : rows:row list -> protocol:string -> int option
+(** Largest budget at which every run of [protocol] stayed green,
+    scanning budgets upward and stopping at the first degraded one. *)

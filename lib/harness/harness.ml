@@ -14,7 +14,10 @@ module Make (P : Protocol.S) = struct
   module Net = Network.Make (P)
 
   type finished =
-    [ `All_halted | `Max_rounds_reached | `No_correct_nodes | `Stopped ]
+    [ `All_halted
+    | `Max_rounds_reached of Node_id.t list
+    | `No_correct_nodes
+    | `Stopped ]
 
   type outcome = {
     finished : finished;
@@ -26,10 +29,10 @@ module Make (P : Protocol.S) = struct
     net : Net.t;
   }
 
-  let create ?rushing ?delivery ?seed ?trace ?classify ?stimulus ~correct
-      ~byzantine () =
-    Net.create ?rushing ?delivery ?seed ?trace ?classify ?stimulus ~correct
-      ~byzantine ()
+  let create ?rushing ?delivery ?seed ?faults ?trace ?classify ?stimulus
+      ~correct ~byzantine () =
+    Net.create ?rushing ?delivery ?seed ?faults ?trace ?classify ?stimulus
+      ~correct ~byzantine ()
 
   let collect net ~finished =
     let metrics = Net.metrics net in
@@ -43,19 +46,76 @@ module Make (P : Protocol.S) = struct
       net;
     }
 
-  let execute ?rushing ?delivery ?seed ?trace ?classify ?stimulus ?max_rounds
-      ?stop ?(settle = 0) ~correct ~byzantine () =
+  let observations net =
+    List.map
+      (fun (r : Net.node_report) ->
+        {
+          Ubpa_monitor.node = r.id;
+          joined_at = r.joined_at;
+          halted_at = r.halted_at;
+          down = r.down_since <> None;
+          output = r.last_output;
+        })
+      (Net.reports net)
+
+  let observe monitor net =
+    Ubpa_monitor.observe monitor ~round:(Net.round net) (observations net)
+
+  (* [Net.run] / [Net.run_until], with a monitor observation after every
+     round. *)
+  let run_monitored ?(max_rounds = 10_000) ?stop net ~monitor =
+    if stop = None && not (Net.has_correct net) then `No_correct_nodes
+    else
+      let finished () =
+        match stop with
+        | None -> if Net.all_halted net then Some `All_halted else None
+        | Some stop -> if stop net then Some `Stopped else None
+      in
+      let rec go () =
+        match finished () with
+        | Some f -> f
+        | None ->
+            if Net.round net >= max_rounds then
+              `Max_rounds_reached (Net.stalled net)
+            else begin
+              Net.step_round net;
+              observe monitor net;
+              go ()
+            end
+      in
+      go ()
+
+  let execute ?rushing ?delivery ?seed ?faults ?trace ?classify ?stimulus
+      ?max_rounds ?stop ?(settle = 0) ?monitor ~correct ~byzantine () =
+    (* Event-based invariants need an enabled trace to subscribe to; give
+       monitored runs one even if the caller did not ask for a trace. *)
+    let trace =
+      match (trace, monitor) with
+      | Some tr, _ -> Some tr
+      | None, Some _ -> Some (Trace.create ())
+      | None, None -> None
+    in
     let net =
-      create ?rushing ?delivery ?seed ?trace ?classify ?stimulus ~correct
-        ~byzantine ()
+      create ?rushing ?delivery ?seed ?faults ?trace ?classify ?stimulus
+        ~correct ~byzantine ()
     in
     let finished =
-      match stop with
-      | None -> (Net.run ?max_rounds net :> finished)
-      | Some stop -> (Net.run_until ?max_rounds net ~stop :> finished)
+      match monitor with
+      | None -> (
+          match stop with
+          | None -> (Net.run ?max_rounds net :> finished)
+          | Some stop -> (Net.run_until ?max_rounds net ~stop :> finished))
+      | Some monitor ->
+          Option.iter
+            (fun tr ->
+              if Trace.enabled tr then
+                Trace.subscribe tr (Ubpa_monitor.observe_event monitor))
+            trace;
+          (run_monitored ?max_rounds ?stop net ~monitor :> finished)
     in
     for _ = 1 to settle do
-      Net.step_round net
+      Net.step_round net;
+      match monitor with None -> () | Some m -> observe m net
     done;
     collect net ~finished
 end

@@ -30,7 +30,11 @@ module Make (P : Protocol.S) : sig
   module Net : module type of Network.Make (P)
 
   type finished =
-    [ `All_halted | `Max_rounds_reached | `No_correct_nodes | `Stopped ]
+    [ `All_halted
+    | `Max_rounds_reached of Node_id.t list
+      (** Carries the correct nodes that never halted. *)
+    | `No_correct_nodes
+    | `Stopped ]
 
   type outcome = {
     finished : finished;
@@ -47,6 +51,7 @@ module Make (P : Protocol.S) : sig
     ?rushing:bool ->
     ?delivery:Delivery.impl ->
     ?seed:int64 ->
+    ?faults:Ubpa_faults.plan ->
     ?trace:Trace.t ->
     ?classify:(P.message -> string) ->
     ?stimulus:(round:int -> Node_id.t -> P.stimulus list) ->
@@ -60,16 +65,26 @@ module Make (P : Protocol.S) : sig
   val collect : Net.t -> finished:finished -> outcome
   (** Snapshot a (finished) network into an {!outcome}. *)
 
+  val observations : Net.t -> P.output Ubpa_monitor.node_obs list
+  (** The per-node snapshot {!Ubpa_monitor.observe} expects, derived from
+      [Net.reports]. *)
+
+  val observe : P.output Ubpa_monitor.t -> Net.t -> unit
+  (** Feed the network's current state to a monitor — what hand-driven
+      round loops call after each [Net.step_round]. *)
+
   val execute :
     ?rushing:bool ->
     ?delivery:Delivery.impl ->
     ?seed:int64 ->
+    ?faults:Ubpa_faults.plan ->
     ?trace:Trace.t ->
     ?classify:(P.message -> string) ->
     ?stimulus:(round:int -> Node_id.t -> P.stimulus list) ->
     ?max_rounds:int ->
     ?stop:(Net.t -> bool) ->
     ?settle:int ->
+    ?monitor:P.output Ubpa_monitor.t ->
     correct:(Node_id.t * P.input) list ->
     byzantine:(Node_id.t * P.message Strategy.t) list ->
     unit ->
@@ -78,5 +93,10 @@ module Make (P : Protocol.S) : sig
       halts ([Net.run]); with [stop], until the predicate holds
       ([Net.run_until]). [settle] (default 0) executes that many extra
       rounds after the run ends — e.g. to let relay properties propagate —
-      before collecting. *)
+      before collecting. [faults] is handed to [Net.create]. [monitor]
+      switches to a hand-driven loop with the same semantics that feeds
+      the monitor after every round (settle rounds included) and
+      subscribes it to the trace — an enabled trace is created on the
+      caller's behalf if none was supplied, so event-based invariants
+      always see the run. *)
 end

@@ -1,0 +1,218 @@
+(* Seeded chaos sweeps: randomized benign-fault schedules (Ubpa_harness.Chaos)
+   run against online invariant monitors (Ubpa_monitor), per protocol.
+
+   Population and envelope: [n_correct = 10] correct nodes plus one
+   Byzantine mirror, so n = 11 and f = (n-1)/3 = 3. A schedule with budget
+   b crash/omission-faults b correct nodes; b + 1 <= 3 keeps the run
+   inside the paper's proven envelope (benign faults are sub-Byzantine),
+   so every monitor must stay green there. Victims are excused from the
+   monitors — the theorems promise nothing about faulty nodes. *)
+
+open Ubpa_util
+open Unknown_ba
+module M = Ubpa_monitor
+module F = Ubpa_faults
+open Ubpa_harness
+
+let n_correct = 10
+let n_byz = 1
+let n = n_correct + n_byz
+let f = Harness.max_f n
+
+module Consensus_chaos = struct
+  module P = Consensus.Make (Value.Int)
+  module H = Harness.Make (P)
+
+  (* Algorithm 3 decides within 5(f+1)+2 rounds; 30 leaves slack for the
+     rotor phases a crashed coordinator wastes. *)
+  let deadline = 30
+
+  let run ?style ?loss ?dup ~seed ~budget () =
+    let correct_ids, byz_ids = Harness.split_population ~seed ~n_correct ~n_byz in
+    let sch = Chaos.schedule ?style ?loss ?dup ~seed ~correct_ids ~budget () in
+    let monitor =
+      M.create
+        ~excused:(Node_id.Set.of_list sch.Chaos.victims)
+        [
+          M.agreement ~equal:Int.equal ~pp:Fmt.int ();
+          (* mirror only replays correct traffic, so any decision must be
+             some correct node's input *)
+          M.validity ~ok:(fun _ v -> v = 0 || v = 1) ();
+          M.termination_by ~round:deadline ();
+          M.no_send_after_halt ();
+        ]
+    in
+    let correct = List.mapi (fun i id -> (id, i mod 2)) correct_ids in
+    let byzantine =
+      List.map (fun id -> (id, Ubpa_adversary.Generic.mirror)) byz_ids
+    in
+    let _ =
+      H.execute ~seed ~faults:sch.Chaos.plan ~monitor
+        ~max_rounds:(deadline + 10) ~correct ~byzantine ()
+    in
+    (sch, M.first_violation monitor)
+end
+
+module Rb_chaos = struct
+  module P = Reliable_broadcast.Make (Value.String)
+  module H = Harness.Make (P)
+
+  let payload = "chaos-payload"
+
+  (* RB accepts in round 3 in the fault-free run; crash-recover victims
+     and omission windows can stretch the echo quorum a few rounds. *)
+  let deadline = 8
+  let horizon = 12
+
+  let keys (out : P.output) =
+    List.map (fun (a : P.accepted) -> (a.P.payload, a.P.sender)) out
+
+  let run ?style ?loss ?dup ~seed ~budget () =
+    let correct_ids, byz_ids = Harness.split_population ~seed ~n_correct ~n_byz in
+    let sch = Chaos.schedule ?style ?loss ?dup ~seed ~correct_ids ~budget () in
+    let sender = List.hd correct_ids in
+    let forged (m, s) =
+      (* every correct node except the designated sender broadcasts only
+         [present]; an accepted pair attributed to one of them is a forgery *)
+      List.exists (Node_id.equal s) correct_ids
+      && not (Node_id.equal s sender && m = payload)
+    in
+    let monitor =
+      M.create
+        ~excused:(Node_id.Set.of_list sch.Chaos.victims)
+        [
+          M.unforgeable ~keys ~forged
+            ~pp_key:(fun ppf (m, s) ->
+              Fmt.pf ppf "(%s, %a)" m Node_id.pp s)
+            ();
+          M.accept_relay ~keys ();
+          M.progress_by ~name:"rb-correctness" ~round:deadline
+            ~ok:(fun o ->
+              match o.M.output with
+              | None -> false
+              | Some out ->
+                  List.exists
+                    (fun (m, s) -> m = payload && Node_id.equal s sender)
+                    (keys out))
+            ();
+          M.no_send_after_halt ();
+        ]
+    in
+    let correct =
+      List.map
+        (fun id ->
+          (id, if Node_id.equal id sender then Some payload else None))
+        correct_ids
+    in
+    let byzantine =
+      List.map (fun id -> (id, Ubpa_adversary.Generic.mirror)) byz_ids
+    in
+    let _ =
+      H.execute ~seed ~faults:sch.Chaos.plan ~monitor ~max_rounds:horizon
+        ~correct ~byzantine ()
+    in
+    (sch, M.first_violation monitor)
+end
+
+module Aa_chaos = struct
+  module P = Approx_agreement
+  module H = Harness.Make (P)
+
+  let iterations = 3
+  let deadline = 10
+  let inputs i = float_of_int (10 * i) (* correct inputs span [0, 90] *)
+
+  let run ?style ?loss ?dup ~seed ~budget () =
+    let correct_ids, byz_ids = Harness.split_population ~seed ~n_correct ~n_byz in
+    let sch = Chaos.schedule ?style ?loss ?dup ~seed ~correct_ids ~budget () in
+    let lo, hi = (0., float_of_int (10 * (n_correct - 1))) in
+    let monitor =
+      M.create
+        ~excused:(Node_id.Set.of_list sch.Chaos.victims)
+        [
+          M.validity
+            ~ok:(fun _ (p : Approx_agreement.progress) ->
+              p.estimate >= lo && p.estimate <= hi)
+            ();
+          M.termination_by ~round:deadline ();
+          M.no_send_after_halt ();
+        ]
+    in
+    let correct =
+      List.mapi
+        (fun i id -> (id, { Approx_agreement.value = inputs i; iterations }))
+        correct_ids
+    in
+    let byzantine =
+      List.map (fun id -> (id, Ubpa_adversary.Generic.mirror)) byz_ids
+    in
+    let _ =
+      H.execute ~seed ~faults:sch.Chaos.plan ~monitor
+        ~max_rounds:(deadline + 5) ~correct ~byzantine ()
+    in
+    (sch, M.first_violation monitor)
+end
+
+type run_record = {
+  protocol : string;
+  seed : int64;
+  budget : int;
+  violation : M.violation option;
+}
+
+let runners =
+  [
+    ("consensus", Consensus_chaos.run);
+    ("rb", Rb_chaos.run);
+    ("aa", Aa_chaos.run);
+  ]
+
+let protocols = List.map fst runners
+
+let default_budgets = [ 0; 1; 2; 3; 5 ]
+let default_seeds_per_budget = 6
+
+(* The sweep: per protocol, increasing fault budget, [seeds_per_budget]
+   fresh schedules each. The top budget is a deterministic worst case —
+   crash-blackout plus global loss/duplication — so the beyond-envelope
+   end of the table degrades by construction, not by luck. *)
+let sweep ?(protocols = protocols) ?(budgets = default_budgets)
+    ?(seeds_per_budget = default_seeds_per_budget) ?(base_seed = 0xc4a05L) ()
+    =
+  let top = List.fold_left max 0 budgets in
+  let records = ref [] in
+  let rows =
+    List.concat_map
+      (fun protocol ->
+        let pi, run =
+          let rec find i = function
+            | [] -> invalid_arg ("Chaos_runs.sweep: unknown protocol " ^ protocol)
+            | (name, run) :: rest -> if name = protocol then (i, run) else find (i + 1) rest
+          in
+          find 0 runners
+        in
+        List.map
+          (fun budget ->
+            let style, loss, dup =
+              if budget >= top && budget > f - n_byz then
+                (`Crash_blackout, 0.15, 0.10)
+              else (`Mixed, 0., 0.)
+            in
+            let verdicts = ref [] in
+            let within = ref true in
+            for k = 0 to seeds_per_budget - 1 do
+              let seed =
+                Int64.add base_seed
+                  (Int64.of_int ((pi * 97) + (budget * 1009) + (k * 13)))
+              in
+              let sch, violation = run ~style ~loss ~dup ~seed ~budget () in
+              within := !within && Chaos.within_envelope sch ~n ~byz:n_byz;
+              verdicts := violation :: !verdicts;
+              records := { protocol; seed; budget; violation } :: !records
+            done;
+            Chaos.row ~protocol ~budget ~byz:n_byz ~n ~within:!within
+              (List.rev !verdicts))
+          budgets)
+      protocols
+  in
+  (rows, List.rev !records)

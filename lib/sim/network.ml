@@ -7,6 +7,7 @@ module Make (P : Protocol.S) = struct
     first_output_round : int option;
     last_output : P.output option;
     halted_at : int option;
+    down_since : int option;
   }
 
   type correct_node = {
@@ -16,6 +17,7 @@ module Make (P : Protocol.S) = struct
     mutable c_first_output_round : int option;
     mutable c_last_output : P.output option;
     mutable c_halted_at : int option;
+    mutable c_down_since : int option;  (* injected crash/leave in effect *)
   }
 
   type byz_node = {
@@ -31,6 +33,11 @@ module Make (P : Protocol.S) = struct
     rushing : bool;
     delivery : Delivery.impl;
     rng : Rng.t;
+    faults : Ubpa_faults.plan;
+    frng : Rng.t;
+        (* Fault-plan decisions draw from their own stream so an empty plan
+           leaves every existing random stream untouched, and a non-empty
+           one gives identical decisions on both delivery cores. *)
     tr : Trace.t;
     classify : (P.message -> string) option;
     stimulus : round:int -> Node_id.t -> P.stimulus list;
@@ -41,18 +48,23 @@ module Make (P : Protocol.S) = struct
     mutable queued_joins : pending_join list; (* reversed *)
     mutable queued_removals : Node_id.Set.t;
     mutable pending : P.message Envelope.t list; (* sent last round, reversed *)
+    mutable dup_next : P.message Envelope.t list;
+        (* envelopes duplicated by the fault plan, re-delivered next round *)
   }
 
   let no_stimulus ~round:_ _ = []
 
   let create ?(rushing = true) ?(delivery = Delivery.Indexed)
-      ?(seed = 0xbadc0ffeeL) ?(trace = Trace.disabled) ?classify
-      ?(stimulus = no_stimulus) ~correct ~byzantine () =
+      ?(seed = 0xbadc0ffeeL) ?(faults = Ubpa_faults.empty)
+      ?(trace = Trace.disabled) ?classify ?(stimulus = no_stimulus) ~correct
+      ~byzantine () =
     let t =
       {
         rushing;
         delivery;
         rng = Rng.create seed;
+        faults;
+        frng = Rng.create (Int64.logxor seed 0x6661756c745eedL);
         tr = trace;
         classify;
         stimulus;
@@ -63,6 +75,7 @@ module Make (P : Protocol.S) = struct
         queued_joins = [];
         queued_removals = Node_id.Set.empty;
         pending = [];
+        dup_next = [];
       }
     in
     let ids = List.map fst correct @ List.map fst byzantine in
@@ -99,6 +112,7 @@ module Make (P : Protocol.S) = struct
                   c_first_output_round = None;
                   c_last_output = None;
                   c_halted_at = None;
+                  c_down_since = None;
                 }
                 t.correct
         | Join_byzantine (id, strat) ->
@@ -120,9 +134,39 @@ module Make (P : Protocol.S) = struct
 
   let active_correct_nodes t =
     Node_id.Map.fold
-      (fun _ n acc -> if n.c_halted_at = None then n :: acc else acc)
+      (fun _ n acc ->
+        if n.c_halted_at = None && n.c_down_since = None then n :: acc else acc)
       t.correct []
     |> List.rev (* fold yields descending; reverse to ascending id order *)
+
+  (* Crash / churn transitions scheduled by the fault plan for this round.
+     A downed node keeps its state (crash-recover resumes where it left
+     off) but is absent from [present]: it neither steps, sends, nor
+     receives while down. *)
+  let apply_fault_transitions t =
+    Node_id.Map.iter
+      (fun id n ->
+        if n.c_halted_at = None then
+          let status = Ubpa_faults.status t.faults ~node:id ~round:t.round in
+          match (n.c_down_since, status) with
+          | None, (`Crashed | `Left) ->
+              n.c_down_since <- Some t.round;
+              Trace.recordf t.tr ~round:t.round ~node:id ~kind:Trace.Fault
+                "%s"
+                (match status with
+                | `Left -> "fault: leave (churn)"
+                | _ -> "fault: crash")
+          | Some _, `Up ->
+              n.c_down_since <- None;
+              Trace.recordf t.tr ~round:t.round ~node:id ~kind:Trace.Fault
+                "%s"
+                (match
+                   Ubpa_faults.status t.faults ~node:id ~round:(t.round - 1)
+                 with
+                | `Left -> "fault: rejoin (churn, state intact)"
+                | _ -> "fault: recover (state intact)")
+          | _ -> ())
+      t.correct
 
   let active_correct t = List.map (fun n -> n.c_id) (active_correct_nodes t)
 
@@ -136,9 +180,81 @@ module Make (P : Protocol.S) = struct
      (sender, payload) pairs for the same recipient are dropped, with payload
      equality decided by [P.equal_message]. *)
   let deliver t ~present =
+    let faulty = not (Ubpa_faults.is_empty t.faults) in
+    let envelopes = List.rev t.pending in
+    (* Link-level faults happen before routing: per-envelope loss drops the
+       envelope for every recipient; duplication re-injects a copy into the
+       *next* round (a same-round copy would be absorbed by the dedup). *)
+    let envelopes =
+      if not faulty then envelopes
+      else begin
+        let loss = Ubpa_faults.loss t.faults
+        and dup = Ubpa_faults.dup t.faults in
+        let kept =
+          if loss <= 0. then envelopes
+          else
+            List.filter
+              (fun (env : P.message Envelope.t) ->
+                if Rng.float t.frng 1.0 < loss then begin
+                  if Trace.enabled t.tr then
+                    Trace.recordf t.tr ~round:t.round ~node:env.src
+                      ~kind:Trace.Fault "fault: loss %a"
+                      (Envelope.pp P.pp_message) env;
+                  false
+                end
+                else true)
+              envelopes
+        in
+        if dup > 0. then
+          List.iter
+            (fun (env : P.message Envelope.t) ->
+              if Rng.float t.frng 1.0 < dup then begin
+                if Trace.enabled t.tr then
+                  Trace.recordf t.tr ~round:t.round ~node:env.src
+                    ~kind:Trace.Fault "fault: duplicate (next round) %a"
+                    (Envelope.pp P.pp_message) env;
+                t.dup_next <- env :: t.dup_next
+              end)
+            kept;
+        kept
+      end
+    in
     let inboxes, delivered =
       Delivery.route ~impl:t.delivery ~equal:P.equal_message ~present
-        ~envelopes:(List.rev t.pending)
+        ~envelopes
+    in
+    (* Receive-omission is per recipient, after routing: a broadcast may be
+       lost at one victim and arrive everywhere else. *)
+    let inboxes, delivered =
+      if not faulty then (inboxes, delivered)
+      else begin
+        let dropped = ref 0 in
+        let inboxes =
+          Node_id.Map.mapi
+            (fun dst inbox ->
+              let p =
+                Ubpa_faults.recv_omission_prob t.faults ~node:dst
+                  ~round:t.round
+              in
+              if p <= 0. then inbox
+              else
+                List.filter
+                  (fun (src, payload) ->
+                    if Rng.float t.frng 1.0 < p then begin
+                      incr dropped;
+                      if Trace.enabled t.tr then
+                        Trace.recordf t.tr ~round:t.round ~node:dst
+                          ~kind:Trace.Fault
+                          "fault: recv-omission drop from %a: %a" Node_id.pp
+                          src P.pp_message payload;
+                      false
+                    end
+                    else true)
+                  inbox)
+            inboxes
+        in
+        (inboxes, delivered - !dropped)
+      end
     in
     Metrics.record_delivered t.metrics ~round:t.round delivered;
     inboxes
@@ -147,6 +263,7 @@ module Make (P : Protocol.S) = struct
     t.round <- t.round + 1;
     Metrics.tick_round t.metrics;
     apply_membership t;
+    if not (Ubpa_faults.is_empty t.faults) then apply_fault_transitions t;
     let present =
       Node_id.Set.union
         (Node_id.Set.of_list (active_correct t))
@@ -158,6 +275,7 @@ module Make (P : Protocol.S) = struct
     in
     (* Correct nodes first (their sends feed the rushing adversary). *)
     let correct_sends = ref [] in
+    let faulty = not (Ubpa_faults.is_empty t.faults) in
     List.iter
       (fun n ->
         let stim = t.stimulus ~round:t.round n.c_id in
@@ -166,17 +284,31 @@ module Make (P : Protocol.S) = struct
             ~inbox:(inbox_of n.c_id)
         in
         n.c_state <- state;
+        let omit_p =
+          if faulty then
+            Ubpa_faults.send_omission_prob t.faults ~node:n.c_id
+              ~round:t.round
+          else 0.
+        in
         List.iter
           (fun (dst, payload) ->
-            Metrics.record_send t.metrics ~byzantine:false;
-            (match t.classify with
-            | Some f -> Metrics.record_kind t.metrics (f payload)
-            | None -> ());
             let env = { Envelope.src = n.c_id; dst; payload } in
-            if Trace.enabled t.tr then
-              Trace.recordf t.tr ~round:t.round ~node:n.c_id ~kind:Trace.Send
-                "send %a" (Envelope.pp P.pp_message) env;
-            correct_sends := env :: !correct_sends)
+            if omit_p > 0. && Rng.float t.frng 1.0 < omit_p then begin
+              if Trace.enabled t.tr then
+                Trace.recordf t.tr ~round:t.round ~node:n.c_id
+                  ~kind:Trace.Fault "fault: send-omission drop %a"
+                  (Envelope.pp P.pp_message) env
+            end
+            else begin
+              Metrics.record_send t.metrics ~byzantine:false;
+              (match t.classify with
+              | Some f -> Metrics.record_kind t.metrics (f payload)
+              | None -> ());
+              if Trace.enabled t.tr then
+                Trace.recordf t.tr ~round:t.round ~node:n.c_id
+                  ~kind:Trace.Send "send %a" (Envelope.pp P.pp_message) env;
+              correct_sends := env :: !correct_sends
+            end)
           sends;
         (match status with
         | Protocol.Continue -> ()
@@ -228,7 +360,13 @@ module Make (P : Protocol.S) = struct
             byz_sends := env :: !byz_sends)
           (b.b_act view))
       t.byzantine;
-    t.pending <- !byz_sends @ !correct_sends
+    t.pending <- !byz_sends @ !correct_sends;
+    if t.dup_next <> [] then begin
+      (* Reversed like [pending]; prepending re-delivers the duplicates
+         after next round's fresh traffic. *)
+      t.pending <- t.dup_next @ t.pending;
+      t.dup_next <- []
+    end
 
   let step_round t =
     let t0 = Clock.now_ms () in
@@ -237,8 +375,22 @@ module Make (P : Protocol.S) = struct
       (Clock.elapsed_ms ~since:t0)
 
   let all_halted t =
-    Node_id.Map.for_all (fun _ n -> n.c_halted_at <> None) t.correct
+    (* A node the fault plan keeps down forever (crash-stop, leave with no
+       rejoin) can never halt; it is written off rather than spinning the
+       run to max_rounds. *)
+    Node_id.Map.for_all
+      (fun id n ->
+        n.c_halted_at <> None
+        || n.c_down_since <> None
+           && Ubpa_faults.permanently_down t.faults ~node:id ~round:t.round)
+      t.correct
     && t.queued_joins = []
+
+  let stalled t =
+    Node_id.Map.fold
+      (fun id n acc -> if n.c_halted_at = None then id :: acc else acc)
+      t.correct []
+    |> List.rev
 
   let has_correct t =
     (not (Node_id.Map.is_empty t.correct))
@@ -254,7 +406,7 @@ module Make (P : Protocol.S) = struct
     else
       let rec go () =
         if all_halted t then `All_halted
-        else if t.round >= max_rounds then `Max_rounds_reached
+        else if t.round >= max_rounds then `Max_rounds_reached (stalled t)
         else begin
           step_round t;
           go ()
@@ -265,7 +417,7 @@ module Make (P : Protocol.S) = struct
   let run_until ?(max_rounds = 10_000) t ~stop =
     let rec go () =
       if stop t then `Stopped
-      else if t.round >= max_rounds then `Max_rounds_reached
+      else if t.round >= max_rounds then `Max_rounds_reached (stalled t)
       else begin
         step_round t;
         go ()
@@ -287,6 +439,7 @@ module Make (P : Protocol.S) = struct
           first_output_round = n.c_first_output_round;
           last_output = n.c_last_output;
           halted_at = n.c_halted_at;
+          down_since = n.c_down_since;
         }
 
   let reports t = List.map (report t) (correct_ids t)

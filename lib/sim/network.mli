@@ -26,12 +26,16 @@ module Make (P : Protocol.S) : sig
         (** Round of the first [Deliver]/[Stop]. *)
     last_output : P.output option;
     halted_at : int option;
+    down_since : int option;
+        (** [Some r] while an injected crash/leave from the fault plan is
+            in effect (since round [r]); [None] for healthy nodes. *)
   }
 
   val create :
     ?rushing:bool ->
     ?delivery:Delivery.impl ->
     ?seed:int64 ->
+    ?faults:Ubpa_faults.plan ->
     ?trace:Trace.t ->
     ?classify:(P.message -> string) ->
     ?stimulus:(round:int -> Node_id.t -> P.stimulus list) ->
@@ -43,7 +47,15 @@ module Make (P : Protocol.S) : sig
       both lists. [delivery] selects the delivery core (default
       {!Delivery.Indexed}; {!Delivery.Naive} keeps the seed engine's
       list-scan core — same results, slower — for differential testing and
-      head-to-head benchmarks). *)
+      head-to-head benchmarks). [faults] (default {!Ubpa_faults.empty})
+      injects benign faults into correct nodes at the delivery boundary:
+      crashed/left nodes are absent from the present set (they neither
+      step nor receive, state kept for recovery), send/receive omission
+      and per-envelope loss/duplication drop or re-deliver envelopes, and
+      every injected fault is recorded as a {!Trace.Fault} event. The
+      plan's random decisions come from a dedicated stream, so an empty
+      plan is byte-identical to no plan and a non-empty plan makes the
+      same decisions on both delivery cores. *)
 
   (** {2 Dynamic membership} *)
 
@@ -63,16 +75,30 @@ module Make (P : Protocol.S) : sig
   val run :
     ?max_rounds:int ->
     t ->
-    [ `All_halted | `Max_rounds_reached | `No_correct_nodes ]
+    [ `All_halted | `Max_rounds_reached of Node_id.t list | `No_correct_nodes ]
   (** Step until every correct node halted. [max_rounds] (default 10_000)
-      bounds non-terminating protocols. A network with no correct node —
-      present or queued to join — returns [`No_correct_nodes] without
-      stepping: "all correct nodes halted" would be vacuous, and since
-      correct nodes are never removed and [run] admits no new joins, the
-      condition cannot change mid-run. *)
+      bounds non-terminating protocols; hitting it reports {e who}
+      stalled — the correct nodes that never halted, ascending. Nodes the
+      fault plan keeps down forever (crash-stop, leave without rejoin)
+      are written off by the halt check but still listed as stalled. A
+      network with no correct node — present or queued to join — returns
+      [`No_correct_nodes] without stepping: "all correct nodes halted"
+      would be vacuous, and since correct nodes are never removed and
+      [run] admits no new joins, the condition cannot change mid-run. *)
 
-  val run_until : ?max_rounds:int -> t -> stop:(t -> bool) -> [ `Stopped | `Max_rounds_reached ]
+  val run_until :
+    ?max_rounds:int ->
+    t ->
+    stop:(t -> bool) ->
+    [ `Stopped | `Max_rounds_reached of Node_id.t list ]
   (** Step until [stop] holds (checked after each round). *)
+
+  val stalled : t -> Node_id.t list
+  (** Correct nodes that have not halted, ascending — the
+      [`Max_rounds_reached] payload. *)
+
+  val has_correct : t -> bool
+  (** A correct node is present or queued to join. *)
 
   (** {2 Observation} *)
 

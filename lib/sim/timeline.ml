@@ -6,6 +6,7 @@ type cell = {
   mutable byz_sends : int;
   mutable output : bool;
   mutable halted : bool;
+  mutable faults : int;
 }
 
 type t = {
@@ -14,7 +15,14 @@ type t = {
 }
 
 let fresh_cell () =
-  { joined = false; sends = 0; byz_sends = 0; output = false; halted = false }
+  {
+    joined = false;
+    sends = 0;
+    byz_sends = 0;
+    output = false;
+    halted = false;
+    faults = 0;
+  }
 
 let of_trace trace =
   let by_node : (Node_id.t, (int, cell) Hashtbl.t) Hashtbl.t =
@@ -49,6 +57,7 @@ let of_trace trace =
           | Trace.Byz_send -> cell.byz_sends <- cell.byz_sends + 1
           | Trace.Output -> cell.output <- true
           | Trace.Halt -> cell.halted <- true
+          | Trace.Fault -> cell.faults <- cell.faults + 1
           | Trace.Leave | Trace.Engine -> ()))
     (Trace.events trace);
   let cells =
@@ -68,12 +77,22 @@ let render_cell cell =
         (if c.joined then "J" else "")
         ^ (if c.sends > 0 then Printf.sprintf "+%d" c.sends else "")
         ^ (if c.byz_sends > 0 then Printf.sprintf "!%d" c.byz_sends else "")
+        ^ (if c.faults > 0 then
+             if c.faults = 1 then "x" else Printf.sprintf "x%d" c.faults
+           else "")
         ^ (if c.halted then "D" else if c.output then "o" else "")
       in
       if marks = "" then "." else marks
 
-let to_string ?(max_rounds = 40) t =
-  if t.cells = [] then "(empty timeline)\n"
+let to_string ?(max_rounds = 40) ?(stalled = []) t =
+  let footer =
+    if stalled = [] then ""
+    else
+      Fmt.str "stalled (never halted): %a\n"
+        (Fmt.list ~sep:Fmt.sp Node_id.pp)
+        stalled
+  in
+  if t.cells = [] then "(empty timeline)\n" ^ footer
   else begin
     let shown = min t.max_round max_rounds in
     let truncated = t.max_round > shown in
@@ -108,7 +127,7 @@ let to_string ?(max_rounds = 40) t =
           row;
         Buffer.add_char buf '\n')
       all;
-    Buffer.contents buf
+    Buffer.contents buf ^ footer
   end
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -10,7 +10,9 @@
     v}
 
     Legend: [J] joined, [+k] sent k messages, [D] decided/halted, [o]
-    produced an output, [.] idle. Byzantine sends are bracketed ([!k]). *)
+    produced an output, [.] idle. Byzantine sends are bracketed ([!k]);
+    injected faults (crash, recovery, omission drops, ...) show as [x]
+    ([xk] for k fault events in one round). *)
 
 open Ubpa_util
 
@@ -23,8 +25,10 @@ val of_trace : Trace.t -> t
 val rounds : t -> int
 val nodes : t -> Node_id.t list
 
-val to_string : ?max_rounds:int -> t -> string
+val to_string : ?max_rounds:int -> ?stalled:Node_id.t list -> t -> string
 (** Render; [max_rounds] (default 40) truncates wide executions with an
-    ellipsis column. *)
+    ellipsis column. [stalled] (typically the [`Max_rounds_reached]
+    payload of [Network.run]) appends a footer naming the correct nodes
+    that never halted. *)
 
 val pp : Format.formatter -> t -> unit

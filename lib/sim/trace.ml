@@ -1,6 +1,6 @@
 open Ubpa_util
 
-type kind = Join | Leave | Send | Byz_send | Output | Halt | Engine
+type kind = Join | Leave | Send | Byz_send | Output | Halt | Fault | Engine
 
 let kind_to_string = function
   | Join -> "join"
@@ -9,6 +9,7 @@ let kind_to_string = function
   | Byz_send -> "byz-send"
   | Output -> "output"
   | Halt -> "halt"
+  | Fault -> "fault"
   | Engine -> "engine"
 
 let kind_of_string = function
@@ -18,14 +19,26 @@ let kind_of_string = function
   | "byz-send" -> Some Byz_send
   | "output" -> Some Output
   | "halt" -> Some Halt
+  | "fault" -> Some Fault
   | "engine" -> Some Engine
   | _ -> None
 
 type event = { round : int; node : Node_id.t option; kind : kind; what : string }
-type t = { enabled : bool; live : bool; mutable events : event list }
 
-let create ?(live = false) () = { enabled = true; live; events = [] }
-let disabled = { enabled = false; live = false; events = [] }
+type t = {
+  enabled : bool;
+  live : bool;
+  mutable events : event list;
+  mutable taps : (event -> unit) list;  (** reversed subscription order *)
+}
+
+let create ?(live = false) () = { enabled = true; live; events = []; taps = [] }
+let disabled = { enabled = false; live = false; events = []; taps = [] }
+
+let subscribe t f =
+  if not t.enabled then
+    invalid_arg "Trace.subscribe: the shared disabled trace records nothing";
+  t.taps <- f :: t.taps
 
 let pp_event ppf e =
   let pp_node ppf = function
@@ -38,7 +51,10 @@ let record t ~round ?node ?(kind = Engine) what =
   if t.enabled then begin
     let e = { round; node; kind; what } in
     t.events <- e :: t.events;
-    if t.live then Fmt.epr "%a@." pp_event e
+    if t.live then Fmt.epr "%a@." pp_event e;
+    match t.taps with
+    | [] -> ()
+    | taps -> List.iter (fun f -> f e) (List.rev taps)
   end
 
 let recordf t ~round ?node ?kind fmt =

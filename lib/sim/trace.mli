@@ -15,6 +15,7 @@ type kind =
   | Byz_send  (** A Byzantine node emitted an envelope. *)
   | Output  (** A correct node produced (non-final) output. *)
   | Halt  (** A correct node halted with final output. *)
+  | Fault  (** An injected benign fault took effect ({!Ubpa_faults}). *)
   | Engine  (** Engine-level bookkeeping; also the default. *)
 
 val kind_to_string : kind -> string
@@ -34,6 +35,12 @@ val create : ?live:bool -> unit -> t
 
 val disabled : t
 (** A shared sink that records nothing. *)
+
+val subscribe : t -> (event -> unit) -> unit
+(** [subscribe t f] calls [f] on every event the moment it is recorded —
+    the hook online monitors ({!Ubpa_monitor}) attach to. Subscribers run
+    in subscription order, after the event is stored. Raises
+    [Invalid_argument] on {!disabled}, which never records anything. *)
 
 val record : t -> round:int -> ?node:Node_id.t -> ?kind:kind -> string -> unit
 (** [kind] defaults to [Engine]. *)

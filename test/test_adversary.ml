@@ -110,6 +110,53 @@ let test_switch_state_isolation () =
   in
   check_true "deterministic" (mk () v = mk () v)
 
+(* ----- withdrawn Byzantine nodes vanish from later views ----- *)
+
+module CInt = Unknown_ba.Consensus.Make (Unknown_ba.Value.Int)
+module CNet = Network.Make (CInt)
+
+let test_withdrawn_byzantine_invisible () =
+  (* A Byzantine node goes silent ([Generic.crash_after]) and is then
+     withdrawn ([remove_byzantine]) while membership keeps changing: no
+     later [Strategy.view.byzantine] may list it. *)
+  let ids = Node_id.scatter ~seed:21L 10 in
+  let correct_ids = List.filteri (fun i _ -> i < 6) ids in
+  let witness = List.nth ids 6
+  and crasher = List.nth ids 7
+  and late_byz = List.nth ids 8
+  and late_correct = List.nth ids 9 in
+  let seen = ref [] in
+  let recorder =
+    Strategy.v ~name:"recorder" (fun _ _ v ->
+        seen := (v.Strategy.round, v.Strategy.byzantine) :: !seen;
+        [])
+  in
+  let net =
+    CNet.create ~seed:3L
+      ~correct:(List.mapi (fun i nid -> (nid, i mod 2)) correct_ids)
+      ~byzantine:[ (witness, recorder); (crasher, Generic.crash_after 2) ]
+      ()
+  in
+  for _ = 1 to 4 do
+    CNet.step_round net
+  done;
+  CNet.remove_byzantine net crasher;
+  (* Dynamic membership in both populations after the withdrawal. *)
+  CNet.join_byzantine net late_byz Generic.silent;
+  CNet.join_correct net late_correct 1;
+  for _ = 1 to 4 do
+    CNet.step_round net
+  done;
+  let appears nid (_, byz) = List.exists (Node_id.equal nid) byz in
+  check_true "crashed node visible while still a member"
+    (List.exists (fun ((r, _) as e) -> r <= 4 && appears crasher e) !seen);
+  check_false "withdrawn node never reappears in later views"
+    (List.exists (fun ((r, _) as e) -> r > 4 && appears crasher e) !seen);
+  check_true "late Byzantine join is visible afterwards"
+    (List.exists (fun ((r, _) as e) -> r > 5 && appears late_byz e) !seen);
+  check_false "withdrawn node is gone from byzantine_ids"
+    (List.exists (Node_id.equal crasher) (CNet.byzantine_ids net))
+
 let suite =
   ( "adversary",
     [
@@ -123,4 +170,6 @@ let suite =
         test_strategy_determinism;
       quick "subset combinator reroutes broadcasts" test_subset_rerouting;
       quick "combinator state isolation" test_switch_state_isolation;
+      quick "withdrawn byzantine node vanishes from views"
+        test_withdrawn_byzantine_invisible;
     ] )

@@ -1,0 +1,122 @@
+(** Chaos harness: seeded schedules, envelope arithmetic, row
+    aggregation, and one small end-to-end sweep — within-envelope runs
+    green, the over-budget blackout end degrading with a report. *)
+
+open Ubpa_util
+open Ubpa_harness
+open Ubpa_scenarios
+open Helpers
+module F = Ubpa_faults
+
+let ids = Node_id.scatter ~seed:3L 10
+
+let test_schedule_deterministic () =
+  let mk () = Chaos.schedule ~seed:42L ~correct_ids:ids ~budget:3 () in
+  let a = mk () and b = mk () in
+  Alcotest.(check (list node_id)) "same victims" a.Chaos.victims b.Chaos.victims;
+  Alcotest.(check string)
+    "same plan"
+    (Fmt.str "%a" F.pp a.Chaos.plan)
+    (Fmt.str "%a" F.pp b.Chaos.plan);
+  check_int "budget kept" 3 a.Chaos.budget;
+  check_int "one victim per budget unit" 3 (List.length a.Chaos.victims)
+
+let test_budget_capped () =
+  let s = Chaos.schedule ~seed:1L ~correct_ids:ids ~budget:99 () in
+  check_int "budget capped at population" (List.length ids) s.Chaos.budget
+
+let test_blackout_style () =
+  let s =
+    Chaos.schedule ~style:`Crash_blackout ~seed:7L ~correct_ids:ids ~budget:4 ()
+  in
+  List.iter
+    (fun v ->
+      check_true "every victim crashed from round 2"
+        (F.status s.Chaos.plan ~node:v ~round:2 = `Crashed))
+    s.Chaos.victims
+
+let test_within_envelope () =
+  let benign = Chaos.schedule ~seed:5L ~correct_ids:ids ~budget:2 () in
+  (* n = 11, f = 3: two benign victims plus one Byzantine fit. *)
+  check_true "2 benign + 1 byz within f=3"
+    (Chaos.within_envelope benign ~n:11 ~byz:1);
+  check_false "3 benign + 1 byz exceed f=3"
+    (Chaos.within_envelope
+       (Chaos.schedule ~seed:5L ~correct_ids:ids ~budget:3 ())
+       ~n:11 ~byz:1);
+  check_false "global loss leaves the envelope at any budget"
+    (Chaos.within_envelope
+       (Chaos.schedule ~loss:0.1 ~seed:5L ~correct_ids:ids ~budget:0 ())
+       ~n:11 ~byz:1)
+
+let test_row_aggregation () =
+  let v round =
+    Some { Ubpa_monitor.invariant = "agreement"; round; node = None; detail = "" }
+  in
+  let r =
+    Chaos.row ~protocol:"p" ~budget:2 ~byz:1 ~n:11 ~within:true
+      [ None; v 6; None; v 9 ]
+  in
+  check_int "runs" 4 r.Chaos.runs;
+  check_int "green" 2 r.Chaos.green;
+  check_int "violated" 2 r.Chaos.violated;
+  check_int "reported equals violated" r.Chaos.violated r.Chaos.reported;
+  Alcotest.(check string) "sample names the first" "agreement@r6" r.Chaos.sample
+
+let test_max_green_budget () =
+  let row budget violated =
+    {
+      Chaos.protocol = "p";
+      budget;
+      byz = 1;
+      n = 11;
+      within = violated = 0;
+      runs = 2;
+      green = 2 - violated;
+      violated;
+      reported = violated;
+      sample = "-";
+    }
+  in
+  let rows = [ row 0 0; row 2 0; row 1 0; row 3 1; row 5 0 ] in
+  check_true "stops at the first degraded budget"
+    (Chaos.max_green_budget ~rows ~protocol:"p" = Some 2);
+  check_true "unknown protocol has no green budget"
+    (Chaos.max_green_budget ~rows ~protocol:"q" = None)
+
+(* ----- a small end-to-end sweep ----- *)
+
+let test_sweep_end_to_end () =
+  let rows, records =
+    Chaos_runs.sweep ~protocols:[ "consensus" ] ~budgets:[ 0; 5 ]
+      ~seeds_per_budget:2 ~base_seed:1L ()
+  in
+  check_int "one row per budget" 2 (List.length rows);
+  check_int "one record per run" 4 (List.length records);
+  let at b = List.find (fun r -> r.Chaos.budget = b) rows in
+  let benign = at 0 and blackout = at 5 in
+  check_true "budget 0 is within the envelope" benign.Chaos.within;
+  check_int "budget 0 stays green" 0 benign.Chaos.violated;
+  check_false "budget 5 leaves the envelope" blackout.Chaos.within;
+  check_true "blackout end degrades" (blackout.Chaos.violated >= 1);
+  check_int "every violation is reported" blackout.Chaos.violated
+    blackout.Chaos.reported;
+  (* the records carry the same verdicts the rows aggregate *)
+  let violated_records =
+    List.filter (fun r -> r.Chaos_runs.violation <> None) records
+  in
+  check_int "records match the table"
+    (benign.Chaos.violated + blackout.Chaos.violated)
+    (List.length violated_records)
+
+let suite =
+  ( "chaos",
+    [
+      quick "schedules are seed-deterministic" test_schedule_deterministic;
+      quick "budget capped at population" test_budget_capped;
+      quick "blackout crashes every victim" test_blackout_style;
+      quick "envelope arithmetic" test_within_envelope;
+      quick "row aggregation" test_row_aggregation;
+      quick "max all-green budget" test_max_green_budget;
+      slow "sweep: green inside, degrades outside" test_sweep_end_to_end;
+    ] )

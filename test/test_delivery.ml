@@ -143,6 +143,47 @@ let test_engine_equivalence () =
     (List.map (fun (nid, v) -> (Node_id.to_int nid, v)) o2)
     (List.map (fun (nid, v) -> (Node_id.to_int nid, v)) o1)
 
+(* ----- trace-level determinism across cores ----- *)
+
+(* Stronger than outcome equivalence: the same seed must yield the same
+   execution event for event, so the JSONL traces are byte-identical —
+   including every fault decision when a plan is active, since the fault
+   stream is keyed to engine-determined orders only. *)
+let traced_jsonl ~delivery ?faults () =
+  let ids = Node_id.scatter ~seed:41L 10 in
+  let correct_ids = List.filteri (fun i _ -> i < 8) ids in
+  let byz_ids = List.filteri (fun i _ -> i >= 8) ids in
+  let trace = Trace.create () in
+  let net =
+    Net.create ~delivery ~seed:17L ?faults ~trace
+      ~correct:(List.mapi (fun i nid -> (nid, i mod 2)) correct_ids)
+      ~byzantine:(List.map (fun nid -> (nid, A.split_world 0 1)) byz_ids)
+      ()
+  in
+  ignore (Net.run ~max_rounds:300 net);
+  Trace.to_jsonl trace
+
+let test_trace_determinism () =
+  Alcotest.(check string)
+    "no faults: byte-identical JSONL"
+    (traced_jsonl ~delivery:Delivery.Naive ())
+    (traced_jsonl ~delivery:Delivery.Indexed ());
+  let ids = Node_id.scatter ~seed:41L 10 in
+  let faults =
+    Ubpa_faults.make ~loss:0.15 ~dup:0.1
+      [
+        (List.nth ids 0, [ Ubpa_faults.crash ~at:3 ~recover:6 () ]);
+        ( List.nth ids 1,
+          [ Ubpa_faults.send_omission ~first:2 ~last:8 ~prob:0.5 () ] );
+        ( List.nth ids 2,
+          [ Ubpa_faults.recv_omission ~first:2 ~last:8 ~prob:0.5 () ] );
+      ]
+  in
+  Alcotest.(check string)
+    "fault plan: byte-identical JSONL"
+    (traced_jsonl ~delivery:Delivery.Naive ~faults ())
+    (traced_jsonl ~delivery:Delivery.Indexed ~faults ())
+
 (* ----- zero-correct-node networks ----- *)
 
 let test_no_correct_nodes () =
@@ -194,6 +235,8 @@ let suite =
       Alcotest.test_case "inbox ordering" `Quick test_inbox_order;
       Alcotest.test_case "engine equivalence: full consensus run" `Quick
         test_engine_equivalence;
+      Alcotest.test_case "trace determinism across cores (with faults)" `Quick
+        test_trace_determinism;
       Alcotest.test_case "run on zero-correct network" `Quick
         test_no_correct_nodes;
       Alcotest.test_case "queued correct join is not vacuous" `Quick

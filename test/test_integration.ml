@@ -33,7 +33,7 @@ let test_rename_then_phase_king () =
   in
   (match Rename_net.run net1 with
   | `All_halted -> ()
-  | `Max_rounds_reached -> Alcotest.fail "renaming did not terminate"
+  | `Max_rounds_reached _ -> Alcotest.fail "renaming did not terminate"
   | `No_correct_nodes -> assert false);
   let tables =
     List.map (fun (_, (o : Renaming.output)) -> o.names) (Rename_net.outputs net1)
@@ -58,7 +58,7 @@ let test_rename_then_phase_king () =
   in
   (match Pk_net.run net2 with
   | `All_halted -> ()
-  | `Max_rounds_reached -> Alcotest.fail "phase king did not terminate"
+  | `Max_rounds_reached _ -> Alcotest.fail "phase king did not terminate"
   | `No_correct_nodes -> assert false);
   match Pk_net.outputs net2 with
   | (_, first) :: rest ->
@@ -133,7 +133,7 @@ let test_byzantine_join_and_leave_mid_run () =
   C_net.join_byzantine net byz2 (C_attacks.stubborn 9);
   (match C_net.run net with
   | `All_halted -> ()
-  | `Max_rounds_reached -> Alcotest.fail "did not terminate"
+  | `Max_rounds_reached _ -> Alcotest.fail "did not terminate"
   | `No_correct_nodes -> assert false);
   match C_net.outputs net with
   | (_, first) :: rest ->
