@@ -1,4 +1,10 @@
 # Convenience targets; everything is plain dune underneath.
+#
+# JOBS controls the sweep executor: `make bench-json JOBS=8` runs every
+# experiment's cells on 8 worker domains (0 = all cores). Tables are
+# byte-identical at any JOBS — PERF2 machine-checks that claim.
+
+JOBS ?= 1
 
 .PHONY: all build test bench bench-fast bench-csv bench-json bench-check \
 	bench-baseline bench-gate chaos fmt fmt-check examples clean
@@ -12,35 +18,41 @@ test:
 	dune runtest
 
 bench:
-	dune exec bench/main.exe
+	dune exec bench/main.exe -- --jobs $(JOBS)
 
 bench-fast:
-	dune exec bench/main.exe -- --fast
+	dune exec bench/main.exe -- --fast --jobs $(JOBS)
 
 bench-csv:
-	dune exec bench/main.exe -- --csv results/
+	dune exec bench/main.exe -- --csv results/ --jobs $(JOBS)
 
 # Machine-readable artifacts: one BENCH_<exp>.json per experiment, each
 # carrying the table, timing, seeds, and pass/fail paper claims.
 bench-json:
-	dune exec bench/main.exe -- --json results/json/
+	dune exec bench/main.exe -- --json results/json/ --jobs $(JOBS)
 
 # What CI runs: fast sweeps + the self-checking claim gate.
 bench-check:
-	dune exec bench/main.exe -- --fast --no-timing --json results/json-fast/
+	dune exec bench/main.exe -- --fast --no-timing --json results/json-fast/ \
+		--jobs $(JOBS)
 	dune exec bin/bench_diff.exe -- --check-claims results/json-fast/
 
 # Regenerate the committed refactor-gate baseline. PERF is excluded on
 # purpose: it races the two delivery cores head to head, so its timing
 # cells change run to run and can never be a determinism reference.
+# PERF2 is included on purpose: its digests are independent of machine,
+# --jobs, and pool backend, so the baseline pins executor determinism.
 bench-baseline:
 	dune exec bench/main.exe -- --fast --no-timing --json bench/baseline/
 	rm -f bench/baseline/BENCH_PERF.json
 
 # The refactor gate CI runs: fast sweeps diffed cell-for-cell against
 # the committed baseline (wall-clock metadata exempt, timing gate off).
+# The baseline was produced serially, so running the gate with JOBS > 1
+# doubles as the parallel-vs-serial byte-identity check.
 bench-gate:
-	dune exec bench/main.exe -- --fast --no-timing --json results/json-fast/
+	dune exec bench/main.exe -- --fast --no-timing --json results/json-fast/ \
+		--jobs $(JOBS)
 	dune exec bin/bench_diff.exe -- --exact bench/baseline results/json-fast/
 
 # Fixed-seed chaos smoke sweep: randomized benign-fault schedules under

@@ -431,12 +431,20 @@ let chaos_cmd =
       & opt int Chaos_runs.default_seeds_per_budget
       & info [ "runs" ] ~docv:"K" ~doc)
   in
-  let run protocol budgets runs seed =
+  let jobs_t =
+    let doc =
+      "Worker domains for the sweep (0 = all cores). The rows are \
+       byte-identical at any value. Defaults to the UBPA_JOBS environment \
+       variable, then 1."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let run protocol budgets runs jobs seed =
     let protocols =
       match protocol with None -> Chaos_runs.protocols | Some p -> [ p ]
     in
     let rows, records =
-      Chaos_runs.sweep ~protocols ~budgets ~seeds_per_budget:runs
+      Chaos_runs.sweep ?jobs ~protocols ~budgets ~seeds_per_budget:runs
         ~base_seed:(i64 seed) ()
     in
     Fmt.pr "%-10s %-7s %-9s %-5s %-9s %s@." "protocol" "budget" "envelope"
@@ -471,7 +479,7 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:"Seeded chaos sweep: randomized benign-fault schedules under \
              online safety monitors, per fault budget")
-    Term.(const run $ protocol_t $ budgets_t $ runs_t $ seed_t)
+    Term.(const run $ protocol_t $ budgets_t $ runs_t $ jobs_t $ seed_t)
 
 (* ----- impossibility ----- *)
 

@@ -47,8 +47,9 @@ module Make (V : Value.S) = struct
     rotor : Rotor_core.t;
     mutable x_v : V.t;
     mutable local_round : int;
-    mutable heard_from : Node_id.Set.t;  (** only used before round 3 *)
-    mutable members : Node_id.Set.t;
+    intr : Interner.t;
+        (** dense member indices; fed until round 3, frozen after *)
+    mutable members_asc : Node_id.t list;  (** ascending, cached at freeze *)
     mutable n_v : int;
     mutable cand_buffer : (Node_id.t * Node_id.t) list;
         (** (sender, candidate) echoes accumulated for the next rotor round *)
@@ -59,9 +60,10 @@ module Make (V : Value.S) = struct
     mutable sent_input : V.t option;  (** my broadcast at position 1 *)
     mutable sent_prefer : V.t option;  (** my broadcast at position 2 *)
     mutable sent_strong : V.t option;  (** my broadcast at position 3 *)
-    mutable phase_silent : Node_id.Set.t;
-        (** members that sent no [input] this phase — terminated (or
-            byz-silent) nodes whose messages get substituted *)
+    mutable phase_silent : Bitset.t;
+        (** members (by dense index) that sent no [input] this phase —
+            terminated (or byz-silent) nodes whose messages get
+            substituted *)
   }
 
   let create ~self ~input =
@@ -70,8 +72,8 @@ module Make (V : Value.S) = struct
       rotor = Rotor_core.create ();
       x_v = input;
       local_round = 0;
-      heard_from = Node_id.Set.empty;
-      members = Node_id.Set.empty;
+      intr = Interner.create ();
+      members_asc = [];
       n_v = 0;
       cand_buffer = [];
       coordinator = None;
@@ -79,11 +81,11 @@ module Make (V : Value.S) = struct
       sent_input = None;
       sent_prefer = None;
       sent_strong = None;
-      phase_silent = Node_id.Set.empty;
+      phase_silent = Bitset.create ();
     }
 
   let opinion t = t.x_v
-  let members t = Node_id.Set.elements t.members
+  let members t = t.members_asc
   let n_v t = t.n_v
 
   let phase t =
@@ -92,28 +94,31 @@ module Make (V : Value.S) = struct
   let position t = ((t.local_round - 3) mod 5) + 1
 
   (* Count messages of one kind from this round's inbox. Members of
-     [eligible] that sent nothing of this kind are substituted with
-     [my_send] — the message this node itself sent of that kind — per the
-     caption of Algorithm 3. Returns the tally and the set of real
-     senders. *)
-  let tally_with_substitution ~extract ~my_send ~eligible inbox =
-    let tally = Tally.create ~compare:V.compare () in
-    let spoke = ref Node_id.Set.empty in
+     [eligible] (a predicate over dense member indices) that sent nothing of
+     this kind are substituted with [my_send] — the message this node itself
+     sent of that kind — per the caption of Algorithm 3. Returns the tally
+     and the dense-index set of real senders. By the time this runs,
+     membership is frozen and the inbox is filtered to members, so every
+     sender already has a dense index. *)
+  let tally_with_substitution t ~extract ~my_send ~eligible inbox =
+    let tally = Tally.create_dense ~compare:V.compare ~interner:t.intr () in
+    let spoke = Bitset.create ~hint:t.n_v () in
     List.iter
       (fun (src, msg) ->
         match extract msg with
         | Some x ->
-            spoke := Node_id.Set.add src !spoke;
+            Bitset.add spoke (Interner.intern t.intr src);
             Tally.add tally ~sender:src x
         | None -> ())
       inbox;
     (match my_send with
     | None -> ()
     | Some x ->
-        Node_id.Set.iter
-          (fun m -> Tally.add tally ~sender:m x)
-          (Node_id.Set.diff eligible !spoke));
-    (tally, !spoke)
+        for ix = 0 to t.n_v - 1 do
+          if eligible ix && not (Bitset.mem spoke ix) then
+            Tally.add tally ~sender:(Interner.extern t.intr ix) x
+        done);
+    (tally, spoke)
 
   let buffer_cand_echoes t inbox =
     List.iter
@@ -129,12 +134,10 @@ module Make (V : Value.S) = struct
        round 3 on, messages from non-members are discarded. *)
     let inbox =
       if t.local_round <= 3 then begin
-        List.iter
-          (fun (src, _) -> t.heard_from <- Node_id.Set.add src t.heard_from)
-          inbox;
+        List.iter (fun (src, _) -> ignore (Interner.intern t.intr src)) inbox;
         inbox
       end
-      else List.filter (fun (src, _) -> Node_id.Set.mem src t.members) inbox
+      else List.filter (fun (src, _) -> Interner.mem t.intr src) inbox
     in
     match t.local_round with
     | 1 -> ([ (Envelope.Broadcast, Init) ], Running)
@@ -150,8 +153,12 @@ module Make (V : Value.S) = struct
         (sends, Running)
     | _ -> (
         if t.local_round = 3 then begin
-          t.members <- t.heard_from;
-          t.n_v <- Node_id.Set.cardinal t.members
+          (* Freeze membership: the interner stops admitting new senders
+             (the round >= 4 filter above rejects them before interning). *)
+          t.n_v <- Interner.size t.intr;
+          let ids = ref [] in
+          Interner.iter t.intr (fun _ id -> ids := id :: !ids);
+          t.members_asc <- List.sort Node_id.compare !ids
         end;
         buffer_cand_echoes t inbox;
         match position t with
@@ -165,13 +172,19 @@ module Make (V : Value.S) = struct
             ([ (Envelope.Broadcast, Input t.x_v) ], Running)
         | 2 ->
             let tally, spoke =
-              tally_with_substitution
+              tally_with_substitution t
                 ~extract:(function Input x -> Some x | _ -> None)
-                ~my_send:t.sent_input ~eligible:t.members inbox
+                ~my_send:t.sent_input
+                ~eligible:(fun _ -> true)
+                inbox
             in
             (* Members without an input this phase are terminated (or
                byz-silent); their later messages are substituted too. *)
-            t.phase_silent <- Node_id.Set.diff t.members spoke;
+            let silent = Bitset.create ~hint:t.n_v () in
+            for ix = 0 to t.n_v - 1 do
+              if not (Bitset.mem spoke ix) then Bitset.add silent ix
+            done;
+            t.phase_silent <- silent;
             let sends =
               match Tally.max_by_count tally with
               | Some (x, count)
@@ -183,9 +196,11 @@ module Make (V : Value.S) = struct
             (sends, Running)
         | 3 ->
             let tally, _ =
-              tally_with_substitution
+              tally_with_substitution t
                 ~extract:(function Prefer x -> Some x | _ -> None)
-                ~my_send:t.sent_prefer ~eligible:t.phase_silent inbox
+                ~my_send:t.sent_prefer
+                ~eligible:(Bitset.mem t.phase_silent)
+                inbox
             in
             let sends =
               match Tally.max_by_count tally with
@@ -227,7 +242,9 @@ module Make (V : Value.S) = struct
                from position 4's inbox; the coordinator's opinion arrives
                now. *)
             let tally =
-              let tly = Tally.create ~compare:V.compare () in
+              let tly =
+                Tally.create_dense ~compare:V.compare ~interner:t.intr ()
+              in
               List.iter
                 (fun (src, x) -> Tally.add tly ~sender:src x)
                 t.strong_stash;
@@ -235,12 +252,15 @@ module Make (V : Value.S) = struct
               (match t.sent_strong with
               | None -> ()
               | Some x ->
-                  let spoke =
-                    Node_id.Set.of_list (List.map fst t.strong_stash)
-                  in
-                  Node_id.Set.iter
-                    (fun m -> Tally.add tly ~sender:m x)
-                    (Node_id.Set.diff t.phase_silent spoke));
+                  let spoke = Bitset.create ~hint:t.n_v () in
+                  List.iter
+                    (fun (src, _) ->
+                      Bitset.add spoke (Interner.intern t.intr src))
+                    t.strong_stash;
+                  for ix = 0 to t.n_v - 1 do
+                    if Bitset.mem t.phase_silent ix && not (Bitset.mem spoke ix)
+                    then Tally.add tly ~sender:(Interner.extern t.intr ix) x
+                  done);
               tly
             in
             let coordinator_opinion =

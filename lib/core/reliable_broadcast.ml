@@ -26,7 +26,7 @@ module Make (V : Value.S) = struct
 
   type state = {
     my_payload : V.t option;
-    mutable heard_from : Node_id.Set.t;  (** senders seen so far; |.| = n_v *)
+    heard_from : Interner.t;  (** senders seen so far; [size] = n_v *)
     mutable accepted : accepted list;  (** newest first *)
     mutable accepted_set : int Pair_map.t;  (** pair -> accept round *)
     mutable local_round : int;  (** rounds since this node joined, from 1 *)
@@ -37,7 +37,7 @@ module Make (V : Value.S) = struct
   let init ~self:_ ~round:_ input =
     {
       my_payload = input;
-      heard_from = Node_id.Set.empty;
+      heard_from = Interner.create ();
       accepted = [];
       accepted_set = Pair_map.empty;
       local_round = 0;
@@ -62,14 +62,12 @@ module Make (V : Value.S) = struct
   let equal_message a b = compare_message a b = 0
 
   let note_senders st inbox =
-    List.iter
-      (fun (src, _) -> st.heard_from <- Node_id.Set.add src st.heard_from)
-      inbox
+    List.iter (fun (src, _) -> ignore (Interner.intern st.heard_from src)) inbox
 
   let step ~self:_ ~round ~stim:_ st ~inbox =
     st.local_round <- st.local_round + 1;
     note_senders st inbox;
-    let n_v = Node_id.Set.cardinal st.heard_from in
+    let n_v = Interner.size st.heard_from in
     match st.local_round with
     | 1 ->
         (* Round 1: designated senders broadcast their payload, everyone
@@ -93,7 +91,9 @@ module Make (V : Value.S) = struct
         (st, sends, Protocol.Continue)
     | _ ->
         (* Rounds >= 3: per-round echo tallies against n_v thresholds. *)
-        let tally = Tally.create ~compare:Pair.compare () in
+        let tally =
+          Tally.create_dense ~compare:Pair.compare ~interner:st.heard_from ()
+        in
         List.iter
           (fun (src, msg) ->
             match msg with

@@ -1,5 +1,6 @@
 open Ubpa_util
 open Ubpa_sim
+module Int_set = Set.Make (Int)
 
 type output = { names : (Node_id.t * int) list; my_name : int }
 type message_view = Init | Echo of Node_id.t | Terminate of int
@@ -13,7 +14,7 @@ type state = {
   mutable heard_from : Node_id.Set.t;
   mutable s : Node_id.Set.t;  (** the growing set of announced identifiers *)
   mutable last_change : int;  (** last local round in which [s] grew *)
-  mutable relayed_terminates : int list;  (** k values already relayed *)
+  mutable relayed_terminates : Int_set.t;  (** k values already relayed *)
 }
 
 let name = "renaming"
@@ -25,7 +26,7 @@ let init ~self ~round:_ () =
     heard_from = Node_id.Set.empty;
     s = Node_id.Set.empty;
     last_change = 0;
-    relayed_terminates = [];
+    relayed_terminates = Int_set.empty;
   }
 
 let pp_message ppf = function
@@ -88,16 +89,18 @@ let step ~self:_ ~round:_ ~stim:_ st ~inbox =
         st.last_change <- r
       end;
       (* Stability vote: S unchanged through rounds r-1 and r. *)
-      if r - st.last_change >= 2 && not (List.mem (r - 1) st.relayed_terminates)
+      if
+        r - st.last_change >= 2
+        && not (Int_set.mem (r - 1) st.relayed_terminates)
       then begin
-        st.relayed_terminates <- (r - 1) :: st.relayed_terminates;
+        st.relayed_terminates <- Int_set.add (r - 1) st.relayed_terminates;
         m := Terminate (r - 1) :: !m
       end;
       (* Relay terminate votes past n_v/3. *)
       List.iter
         (fun k ->
-          if not (List.mem k st.relayed_terminates) then begin
-            st.relayed_terminates <- k :: st.relayed_terminates;
+          if not (Int_set.mem k st.relayed_terminates) then begin
+            st.relayed_terminates <- Int_set.add k st.relayed_terminates;
             m := Terminate k :: !m
           end)
         (Tally.meeting term_tally ~threshold:(fun count ->

@@ -5,9 +5,17 @@ type t = {
   mutable s : Node_id.Set.t;  (** already-selected coordinators *)
   mutable r : int;  (** loop index, starts at 0 *)
   mutable history : (int * Node_id.t) list;  (** newest first *)
+  echoers : Interner.t;  (** dense indices for echo senders *)
 }
 
-let create () = { c = []; s = Node_id.Set.empty; r = 0; history = [] }
+let create () =
+  {
+    c = [];
+    s = Node_id.Set.empty;
+    r = 0;
+    history = [];
+    echoers = Interner.create ();
+  }
 
 type step_result = {
   selected : Node_id.t option;
@@ -17,7 +25,9 @@ type step_result = {
 }
 
 let rotor_round t ~self ~n_v ~echoes =
-  let tally = Tally.create ~compare:Node_id.compare () in
+  let tally =
+    Tally.create_dense ~compare:Node_id.compare ~interner:t.echoers ()
+  in
   List.iter (fun (sender, p) -> Tally.add tally ~sender p) echoes;
   let fresh p = not (List.exists (Node_id.equal p) t.c) in
   (* B_v gathers re-echoes for candidates past n_v/3 (reliable-broadcast

@@ -1,5 +1,6 @@
 open Ubpa_util
 open Ubpa_sim
+module Int_set = Set.Make (Int)
 
 module Make (V : Value.S) = struct
   module Pc = Parallel_consensus_core.Make (V)
@@ -248,11 +249,15 @@ module Make (V : Value.S) = struct
         in
         (* A node reports at most one event per round; keep the first. *)
         let event_inputs =
-          List.fold_left
-            (fun acc (id, m) ->
-              if List.mem_assoc id acc then acc else (id, m) :: acc)
-            [] event_inputs
-          |> List.rev
+          let seen = ref Int_set.empty in
+          List.filter
+            (fun (id, _) ->
+              if Int_set.mem id !seen then false
+              else begin
+                seen := Int_set.add id !seen;
+                true
+              end)
+            event_inputs
         in
         (* Own witnessed events and leave requests. *)
         List.iter

@@ -1,0 +1,23 @@
+let parallel_available = Pool_backend.parallel_available
+let available_parallelism () = Pool_backend.available_parallelism ()
+
+let env_jobs () =
+  match Sys.getenv_opt "UBPA_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 0 -> Some j
+      | _ -> None)
+
+let resolve_jobs ?jobs () =
+  let requested =
+    match jobs with Some j -> Some j | None -> env_jobs ()
+  in
+  match requested with
+  | None -> 1
+  | Some 0 -> available_parallelism ()
+  | Some j -> max 1 j
+
+let map ?jobs f items =
+  let jobs = resolve_jobs ?jobs () in
+  if jobs <= 1 then List.map f items else Pool_backend.map ~jobs f items

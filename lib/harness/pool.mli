@@ -1,0 +1,22 @@
+(** Order-preserving parallel map over independent sweep cells.
+
+    Every bench/chaos cell is seed-deterministic and owns its RNG, network
+    and metrics, so cells can run on worker domains concurrently; the only
+    requirement for byte-identical tables is that results merge in
+    submission order, which {!map} guarantees. The multicore backend is
+    compiled on OCaml 5; on 4.x a sequential fallback with the same
+    semantics is selected at build time (see [pool_backend.mli]). *)
+
+val parallel_available : bool
+(** False when this build uses the sequential fallback. *)
+
+val available_parallelism : unit -> int
+(** Worker count the runtime recommends; 1 on the sequential backend. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] is [List.map f items] computed by up to [jobs]
+    workers, results in input order. [~jobs:0] means
+    [available_parallelism ()]. When [jobs] is omitted it defaults to the
+    [UBPA_JOBS] environment variable, then 1. If some [f] raises, the
+    exception of the lowest-indexed failing item is re-raised after all
+    workers finish. *)

@@ -1,0 +1,39 @@
+(* Multicore backend: worker domains pull item indices from a shared
+   atomic counter (self-balancing: a slow cell never blocks the others)
+   and write results into an index-addressed array, so merge order is
+   submission order whatever the completion order was. *)
+
+let parallel_available = true
+let available_parallelism () = Domain.recommended_domain_count ()
+
+let map ~jobs f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let jobs = min jobs n in
+  if jobs <= 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let ix = Atomic.fetch_and_add next 1 in
+        if ix < n then begin
+          (results.(ix) <-
+             Some
+               (match f arr.(ix) with
+               | v -> Ok v
+               | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let others = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join others;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end

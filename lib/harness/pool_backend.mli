@@ -1,0 +1,17 @@
+(** Backend for {!Pool}, chosen at build time by dune's [(select)]: on
+    OCaml 5 (detected via the [runtime_events] library, which only exists
+    there) the multicore implementation runs items on worker domains; on
+    4.14 the sequential fallback keeps the same interface and semantics. *)
+
+val parallel_available : bool
+(** Whether this build can actually run items concurrently. *)
+
+val available_parallelism : unit -> int
+(** Domains the runtime recommends (1 on the sequential backend). *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item and returns the results
+    in the order of [items], regardless of completion order. If any [f]
+    raises, the exception of the lowest-indexed failing item is re-raised
+    (with its backtrace) after all workers have drained — no worker is
+    leaked. [jobs <= 1] degrades to [List.map]. *)

@@ -1,0 +1,7 @@
+(* Sequential fallback for runtimes without domains (OCaml 4.x): same
+   interface and observable semantics as the multicore backend, one item
+   at a time. *)
+
+let parallel_available = false
+let available_parallelism () = 1
+let map ~jobs:_ f items = List.map f items

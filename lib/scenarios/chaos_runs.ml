@@ -175,13 +175,17 @@ let default_seeds_per_budget = 6
 (* The sweep: per protocol, increasing fault budget, [seeds_per_budget]
    fresh schedules each. The top budget is a deterministic worst case —
    crash-blackout plus global loss/duplication — so the beyond-envelope
-   end of the table degrades by construction, not by luck. *)
-let sweep ?(protocols = protocols) ?(budgets = default_budgets)
+   end of the table degrades by construction, not by luck.
+
+   Each (protocol, budget) cell is seed-deterministic and independent, so
+   cells run on the [Pool] ([jobs] defaults to [UBPA_JOBS], then 1) and
+   merge in submission order: the rows and records of a parallel sweep are
+   byte-identical to a serial one. *)
+let sweep ?jobs ?(protocols = protocols) ?(budgets = default_budgets)
     ?(seeds_per_budget = default_seeds_per_budget) ?(base_seed = 0xc4a05L) ()
     =
   let top = List.fold_left max 0 budgets in
-  let records = ref [] in
-  let rows =
+  let cells =
     List.concat_map
       (fun protocol ->
         let pi, run =
@@ -191,28 +195,36 @@ let sweep ?(protocols = protocols) ?(budgets = default_budgets)
           in
           find 0 runners
         in
-        List.map
-          (fun budget ->
-            let style, loss, dup =
-              if budget >= top && budget > f - n_byz then
-                (`Crash_blackout, 0.15, 0.10)
-              else (`Mixed, 0., 0.)
-            in
-            let verdicts = ref [] in
-            let within = ref true in
-            for k = 0 to seeds_per_budget - 1 do
-              let seed =
-                Int64.add base_seed
-                  (Int64.of_int ((pi * 97) + (budget * 1009) + (k * 13)))
-              in
-              let sch, violation = run ~style ~loss ~dup ~seed ~budget () in
-              within := !within && Chaos.within_envelope sch ~n ~byz:n_byz;
-              verdicts := violation :: !verdicts;
-              records := { protocol; seed; budget; violation } :: !records
-            done;
-            Chaos.row ~protocol ~budget ~byz:n_byz ~n ~within:!within
-              (List.rev !verdicts))
-          budgets)
+        let run ~style ~loss ~dup ~seed ~budget =
+          run ~style ~loss ~dup ~seed ~budget ()
+        in
+        List.map (fun budget -> (protocol, pi, run, budget)) budgets)
       protocols
   in
-  (rows, List.rev !records)
+  let results =
+    Pool.map ?jobs
+      (fun (protocol, pi, run, budget) ->
+        let style, loss, dup =
+          if budget >= top && budget > f - n_byz then
+            (`Crash_blackout, 0.15, 0.10)
+          else (`Mixed, 0., 0.)
+        in
+        let verdicts = ref [] in
+        let cell_records = ref [] in
+        let within = ref true in
+        for k = 0 to seeds_per_budget - 1 do
+          let seed =
+            Int64.add base_seed
+              (Int64.of_int ((pi * 97) + (budget * 1009) + (k * 13)))
+          in
+          let sch, violation = run ~style ~loss ~dup ~seed ~budget in
+          within := !within && Chaos.within_envelope sch ~n ~byz:n_byz;
+          verdicts := violation :: !verdicts;
+          cell_records := { protocol; seed; budget; violation } :: !cell_records
+        done;
+        ( Chaos.row ~protocol ~budget ~byz:n_byz ~n ~within:!within
+            (List.rev !verdicts),
+          List.rev !cell_records ))
+      cells
+  in
+  (List.map fst results, List.concat_map snd results)

@@ -46,7 +46,64 @@ type 'm box = {
   seen : (Node_id.t, 'm list) Hashtbl.t;
 }
 
-let route_indexed ~equal ~present ~envelopes =
+(* Dense variant of the indexed core: recipients are resolved through a
+   per-network interner so broadcast fan-out indexes an array instead of
+   hashing node ids. Per-recipient dedup state is identical to the sparse
+   indexed path, so results are bit-for-bit the same. *)
+let route_indexed_dense ~intr ~equal ~present ~envelopes =
+  let pres = Node_id.Set.elements present in
+  let pres_ix = List.map (Interner.intern intr) pres in
+  let boxes = Array.make (max 1 (Interner.size intr)) None in
+  List.iter
+    (fun ix -> boxes.(ix) <- Some { rev_items = []; seen = Hashtbl.create 8 })
+    pres_ix;
+  let delivered = ref 0 in
+  let push box src payload =
+    let prior = Option.value ~default:[] (Hashtbl.find_opt box.seen src) in
+    if not (List.exists (equal payload) prior) then begin
+      Hashtbl.replace box.seen src (payload :: prior);
+      box.rev_items <- (src, payload) :: box.rev_items;
+      incr delivered
+    end
+  in
+  let bcast_seen : (Node_id.t, 'm list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (env : 'm Envelope.t) ->
+      match env.dst with
+      | Envelope.To id -> (
+          match Interner.find_opt intr id with
+          | Some ix when ix < Array.length boxes -> (
+              match boxes.(ix) with
+              | Some box -> push box env.src env.payload
+              | None -> ())
+          | _ -> ())
+      | Envelope.Broadcast ->
+          let prior =
+            Option.value ~default:[] (Hashtbl.find_opt bcast_seen env.src)
+          in
+          if not (List.exists (equal env.payload) prior) then begin
+            Hashtbl.replace bcast_seen env.src (env.payload :: prior);
+            List.iter
+              (fun ix ->
+                match boxes.(ix) with
+                | Some box -> push box env.src env.payload
+                | None -> ())
+              pres_ix
+          end)
+    envelopes;
+  let inboxes =
+    List.fold_left2
+      (fun acc id ix ->
+        match boxes.(ix) with
+        | None -> acc
+        | Some box ->
+            let sorted = List.stable_sort by_sender (List.rev box.rev_items) in
+            Node_id.Map.add id sorted acc)
+      Node_id.Map.empty pres pres_ix
+  in
+  (inboxes, !delivered)
+
+let route_indexed_sparse ~equal ~present ~envelopes =
   let n = Node_id.Set.cardinal present in
   let boxes : (Node_id.t, _ box) Hashtbl.t = Hashtbl.create (max 16 (2 * n)) in
   Node_id.Set.iter
@@ -95,7 +152,12 @@ let route_indexed ~equal ~present ~envelopes =
   in
   (inboxes, !delivered)
 
-let route ~impl =
+let route_indexed ~interner ~equal ~present ~envelopes =
+  match interner with
+  | Some intr -> route_indexed_dense ~intr ~equal ~present ~envelopes
+  | None -> route_indexed_sparse ~equal ~present ~envelopes
+
+let route ~interner ~impl ~equal ~present ~envelopes =
   match impl with
-  | Indexed -> route_indexed
-  | Naive -> route_reference
+  | Indexed -> route_indexed ~interner ~equal ~present ~envelopes
+  | Naive -> route_reference ~equal ~present ~envelopes

@@ -23,6 +23,7 @@ open Ubpa_util
 type impl = Indexed  (** Engine v2 (default). *) | Naive  (** Seed engine. *)
 
 val route_indexed :
+  interner:Interner.t option ->
   equal:('m -> 'm -> bool) ->
   present:Node_id.Set.t ->
   envelopes:'m Envelope.t list ->
@@ -33,7 +34,12 @@ val route_indexed :
     payloads instead of a scan of the whole inbox. A repeated broadcast
     envelope — same sender, [equal] payload — is dropped before fan-out:
     since the present set is fixed for the round, it could not deliver
-    anything the first copy did not. [envelopes] must be in send order. *)
+    anything the first copy did not. [envelopes] must be in send order.
+
+    When [interner] is given (the per-network id table), recipients resolve
+    to dense indices and broadcast fan-out walks an array instead of a hash
+    table — same results, cheaper per push. Present ids are interned on
+    entry; unknown recipients are dropped exactly like absent ones. *)
 
 val route_reference :
   equal:('m -> 'm -> bool) ->
@@ -45,9 +51,11 @@ val route_reference :
     {!route_indexed}. *)
 
 val route :
+  interner:Interner.t option ->
   impl:impl ->
   equal:('m -> 'm -> bool) ->
   present:Node_id.Set.t ->
   envelopes:'m Envelope.t list ->
   (Node_id.t * 'm) list Node_id.Map.t * int
-(** Dispatch on [impl]. *)
+(** Dispatch on [impl]. [interner] only affects the [Indexed] core; the
+    reference core stays the untouched executable specification. *)

@@ -39,6 +39,9 @@ module Make (P : Protocol.S) = struct
            leaves every existing random stream untouched, and a non-empty
            one gives identical decisions on both delivery cores. *)
     tr : Trace.t;
+    intr : Interner.t;
+        (* per-network dense id table; every member id is interned at join
+           so the indexed delivery core can use array-addressed fan-out *)
     classify : (P.message -> string) option;
     stimulus : round:int -> Node_id.t -> P.stimulus list;
     metrics : Metrics.t;
@@ -66,6 +69,7 @@ module Make (P : Protocol.S) = struct
         faults;
         frng = Rng.create (Int64.logxor seed 0x6661756c745eedL);
         tr = trace;
+        intr = Interner.create ();
         classify;
         stimulus;
         metrics = Metrics.create ();
@@ -103,6 +107,7 @@ module Make (P : Protocol.S) = struct
             then invalid_arg "Network: joining identifier already present";
             Trace.recordf t.tr ~round:t.round ~node:id ~kind:Trace.Join
               "join (correct)";
+            ignore (Interner.intern t.intr id);
             t.correct <-
               Node_id.Map.add id
                 {
@@ -120,6 +125,7 @@ module Make (P : Protocol.S) = struct
             then invalid_arg "Network: joining identifier already present";
             Trace.recordf t.tr ~round:t.round ~node:id ~kind:Trace.Join
               "join (byzantine %s)" (Strategy.name strat);
+            ignore (Interner.intern t.intr id);
             let act = Strategy.instantiate strat (Rng.split t.rng) id in
             t.byzantine <- Node_id.Map.add id { b_id = id; b_act = act } t.byzantine)
       (List.rev t.queued_joins);
@@ -220,8 +226,8 @@ module Make (P : Protocol.S) = struct
       end
     in
     let inboxes, delivered =
-      Delivery.route ~impl:t.delivery ~equal:P.equal_message ~present
-        ~envelopes
+      Delivery.route ~interner:(Some t.intr) ~impl:t.delivery ~equal:P.equal_message
+        ~present ~envelopes
     in
     (* Receive-omission is per recipient, after routing: a broadcast may be
        lost at one victim and arrive everywhere else. *)

@@ -1,0 +1,21 @@
+(** Growable bitmap over small non-negative integers.
+
+    Companion to {!Interner}: once node identifiers are interned to dense
+    indices, per-round sender sets become byte-packed bitmaps with O(1)
+    membership and insert, replacing [Set.Make] balanced trees on the
+    per-message hot paths. *)
+
+type t
+
+val create : ?hint:int -> unit -> t
+(** Empty set; [hint] is the expected index bound (grows on demand). *)
+
+val mem : t -> int -> bool
+(** [mem t ix] — false for any index never added, however large. *)
+
+val add : t -> int -> unit
+(** Insert [ix], growing the backing bytes if needed. Idempotent. Raises
+    [Invalid_argument] on negative indices. *)
+
+val count : t -> int
+(** Number of distinct indices added. *)

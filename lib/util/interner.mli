@@ -1,0 +1,30 @@
+(** Dense interning of scattered node identifiers.
+
+    Identifiers drawn by {!Node_id.scatter} are sparse 30-bit integers, so
+    hot paths that key per-node state on them pay for balanced-tree lookups.
+    An interner assigns each identifier a dense index [0..n-1] in first-seen
+    order, letting those paths switch to arrays and byte-sized bitmaps. *)
+
+type t
+
+val create : ?hint:int -> unit -> t
+(** Fresh empty interner. [hint] sizes the initial tables. *)
+
+val intern : t -> Node_id.t -> int
+(** Dense index for [id], assigning the next free index ([size t]) on first
+    sight. Idempotent: interning the same id twice returns the same index. *)
+
+val find_opt : t -> Node_id.t -> int option
+(** Dense index for [id] if already interned, without assigning one. *)
+
+val mem : t -> Node_id.t -> bool
+
+val extern : t -> int -> Node_id.t
+(** Inverse of {!intern}. Raises [Invalid_argument] when the index was never
+    assigned. *)
+
+val size : t -> int
+(** Number of distinct identifiers interned so far. *)
+
+val iter : t -> (int -> Node_id.t -> unit) -> unit
+(** [iter t f] applies [f index id] in ascending index (first-seen) order. *)

@@ -1,28 +1,60 @@
+type senders =
+  | Sparse of Node_id.Set.t ref
+  | Dense of { intr : Interner.t; seen : Bitset.t }
+
 type ('k, 'v) t = {
   compare : 'k -> 'k -> int;
-  mutable entries : ('k * Node_id.Set.t ref) list;
+  interner : Interner.t option;
+  mutable entries : ('k * senders) list;
 }
 
-let create ~compare () = { compare; entries = [] }
+let create ~compare () = { compare; interner = None; entries = [] }
+
+let create_dense ~compare ~interner () =
+  { compare; interner = Some interner; entries = [] }
+
+let fresh_senders t =
+  match t.interner with
+  | None -> Sparse (ref Node_id.Set.empty)
+  | Some intr -> Dense { intr; seen = Bitset.create ~hint:(Interner.size intr) () }
+
+let record ss sender =
+  match ss with
+  | Sparse s -> s := Node_id.Set.add sender !s
+  | Dense d -> Bitset.add d.seen (Interner.intern d.intr sender)
 
 let find t k = List.find_opt (fun (k', _) -> t.compare k k' = 0) t.entries
 
 let add t ~sender k =
   match find t k with
-  | Some (_, senders) -> senders := Node_id.Set.add sender !senders
-  | None -> t.entries <- (k, ref (Node_id.Set.singleton sender)) :: t.entries
+  | Some (_, ss) -> record ss sender
+  | None ->
+      let ss = fresh_senders t in
+      record ss sender;
+      t.entries <- (k, ss) :: t.entries
 
-let count t k =
-  match find t k with Some (_, s) -> Node_id.Set.cardinal !s | None -> 0
+let cardinal = function
+  | Sparse s -> Node_id.Set.cardinal !s
+  | Dense d -> Bitset.count d.seen
+
+let count t k = match find t k with Some (_, ss) -> cardinal ss | None -> 0
 
 let senders t k =
-  match find t k with Some (_, s) -> Node_id.Set.elements !s | None -> []
+  match find t k with
+  | None -> []
+  | Some (_, Sparse s) -> Node_id.Set.elements !s
+  | Some (_, Dense d) ->
+      let out = ref [] in
+      for ix = Interner.size d.intr - 1 downto 0 do
+        if Bitset.mem d.seen ix then out := Interner.extern d.intr ix :: !out
+      done;
+      List.sort Node_id.compare !out
 
 let contents t = List.map fst t.entries
 
 let max_by_count t =
-  let best acc (k, s) =
-    let c = Node_id.Set.cardinal !s in
+  let best acc (k, ss) =
+    let c = cardinal ss in
     match acc with
     | None -> Some (k, c)
     | Some (k', c') ->
@@ -32,5 +64,5 @@ let max_by_count t =
 
 let meeting t ~threshold =
   List.filter_map
-    (fun (k, s) -> if threshold (Node_id.Set.cardinal !s) then Some k else None)
+    (fun (k, ss) -> if threshold (cardinal ss) then Some k else None)
     t.entries

@@ -10,6 +10,13 @@ type ('k, 'v) t
 
 val create : compare:('k -> 'k -> int) -> unit -> ('k, 'v) t
 
+val create_dense :
+  compare:('k -> 'k -> int) -> interner:Interner.t -> unit -> ('k, 'v) t
+(** Like {!create}, but sender sets are bitmaps over [interner]'s dense
+    indices instead of balanced trees — O(1) insert and duplicate check.
+    Observable behaviour is identical to a sparse tally; senders met after
+    the tally was created are interned on the fly. *)
+
 val add : ('k, 'v) t -> sender:Node_id.t -> 'k -> unit
 (** Record that [sender] sent content [k]. Duplicate (sender, content)
     pairs are ignored. *)

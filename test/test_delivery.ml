@@ -46,7 +46,7 @@ let check_same ~present ~envelopes =
     Delivery.route_reference ~equal:Int.equal ~present ~envelopes
   in
   let idx_inboxes, idx_count =
-    Delivery.route_indexed ~equal:Int.equal ~present ~envelopes
+    Delivery.route_indexed ~interner:None ~equal:Int.equal ~present ~envelopes
   in
   Alcotest.(check int) "delivered count" ref_count idx_count;
   Alcotest.(check bool)
@@ -103,7 +103,7 @@ let test_inbox_order () =
     ]
   in
   let inboxes, _ =
-    Delivery.route_indexed ~equal:Int.equal ~present ~envelopes
+    Delivery.route_indexed ~interner:None ~equal:Int.equal ~present ~envelopes
   in
   Alcotest.(check (list (pair int int)))
     "sender-sorted, send order within sender"

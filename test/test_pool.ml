@@ -1,0 +1,210 @@
+(* The multicore sweep executor and the dense-index primitives it feeds:
+   Pool.map must be List.map with workers (same results, same order, same
+   exception), and Interner/Bitset/dense Tally must be observably identical
+   to the sparse structures they replace. *)
+
+open Ubpa_util
+open Ubpa_harness
+open Helpers
+
+(* ----- Pool.map ----- *)
+
+let jobs_levels = [ 1; 2; 8 ]
+
+let test_pool_map_ordered () =
+  let items = List.init 200 (fun i -> i - 50) in
+  let f n = (n * n) - (3 * n) in
+  let expected = List.map f items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Pool.map ~jobs f items))
+    jobs_levels
+
+let test_pool_map_uneven_work () =
+  (* Cells with wildly different costs still merge in submission order. *)
+  let items = List.init 40 (fun i -> i) in
+  let f n =
+    let spin = if n mod 7 = 0 then 40_000 else 10 in
+    let acc = ref n in
+    for _ = 1 to spin do
+      acc := ((!acc * 31) + 1) land 0xffffff
+    done;
+    !acc
+  in
+  let expected = List.map f items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Pool.map ~jobs f items))
+    jobs_levels
+
+let test_pool_map_empty_and_small () =
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "empty jobs=%d" jobs)
+        [] (Pool.map ~jobs (fun x -> x) []);
+      Alcotest.(check (list int))
+        (Printf.sprintf "singleton jobs=%d" jobs)
+        [ 42 ]
+        (Pool.map ~jobs (fun x -> x + 41) [ 1 ]))
+    jobs_levels
+
+let test_pool_map_jobs_zero () =
+  (* ~jobs:0 means "all cores"; semantics must not change. *)
+  let items = List.init 50 (fun i -> i) in
+  Alcotest.(check (list int))
+    "jobs=0" (List.map succ items)
+    (Pool.map ~jobs:0 succ items)
+
+let test_pool_map_exception () =
+  (* The exception of the lowest-indexed failing item propagates, and the
+     pool is not leaked: the next map on the same backend still works. *)
+  let f n = if n = 5 || n = 17 then failwith (Printf.sprintf "boom-%d" n) else n in
+  List.iter
+    (fun jobs ->
+      (match Pool.map ~jobs f (List.init 30 (fun i -> i)) with
+      | _ -> Alcotest.failf "jobs=%d: expected an exception" jobs
+      | exception Failure msg ->
+          Alcotest.(check string)
+            (Printf.sprintf "lowest-index failure at jobs=%d" jobs)
+            "boom-5" msg);
+      Alcotest.(check (list int))
+        (Printf.sprintf "pool usable after failure at jobs=%d" jobs)
+        [ 2; 3; 4 ]
+        (Pool.map ~jobs succ [ 1; 2; 3 ]))
+    jobs_levels
+
+let prop_pool_matches_list_map =
+  QCheck2.Test.make ~count:100
+    ~name:"Pool.map ~jobs:k equals List.map for k in 1..8"
+    QCheck2.Gen.(
+      pair (int_range 1 8) (list_size (int_range 0 60) (int_range (-1000) 1000)))
+    (fun (jobs, items) ->
+      Pool.map ~jobs (fun n -> (n * 7) - 1) items
+      = List.map (fun n -> (n * 7) - 1) items)
+
+(* ----- Interner ----- *)
+
+let test_interner_roundtrip () =
+  let ids = Node_id.scatter ~seed:2026L 64 in
+  let intr = Interner.create ~hint:8 () in
+  List.iteri
+    (fun i id ->
+      check_int (Printf.sprintf "first-seen index %d" i) i (Interner.intern intr id))
+    ids;
+  check_int "size" 64 (Interner.size intr);
+  List.iteri
+    (fun i id ->
+      check_int (Printf.sprintf "re-intern %d idempotent" i) i
+        (Interner.intern intr id);
+      check_true (Printf.sprintf "mem %d" i) (Interner.mem intr id);
+      Alcotest.(check (option int))
+        (Printf.sprintf "find_opt %d" i)
+        (Some i) (Interner.find_opt intr id);
+      check_true
+        (Printf.sprintf "extern inverse %d" i)
+        (Node_id.equal id (Interner.extern intr i)))
+    ids;
+  check_int "size unchanged by lookups" 64 (Interner.size intr);
+  let stranger = Node_id.of_int 123_456_789 in
+  check_false "unknown id" (Interner.mem intr stranger);
+  Alcotest.(check (option int)) "unknown find_opt" None
+    (Interner.find_opt intr stranger);
+  Alcotest.check_raises "extern out of range"
+    (Invalid_argument "Interner.extern: index 64 out of 0..63") (fun () ->
+      ignore (Interner.extern intr 64))
+
+let test_interner_iter_order () =
+  let ids = Node_id.scatter ~seed:7L 20 in
+  let intr = Interner.create () in
+  List.iter (fun id -> ignore (Interner.intern intr id)) ids;
+  let seen = ref [] in
+  Interner.iter intr (fun ix id -> seen := (ix, id) :: !seen);
+  let seen = List.rev !seen in
+  check_int "iter covers all" 20 (List.length seen);
+  List.iteri
+    (fun i (ix, id) ->
+      check_int (Printf.sprintf "iter index %d" i) i ix;
+      check_true
+        (Printf.sprintf "iter id %d" i)
+        (Node_id.equal id (List.nth ids i)))
+    seen
+
+(* ----- Bitset ----- *)
+
+let test_bitset_basics () =
+  let b = Bitset.create ~hint:4 () in
+  check_int "empty count" 0 (Bitset.count b);
+  check_false "empty mem" (Bitset.mem b 0);
+  check_false "mem far beyond capacity" (Bitset.mem b 100_000);
+  Bitset.add b 3;
+  Bitset.add b 0;
+  Bitset.add b 3;
+  check_int "idempotent add" 2 (Bitset.count b);
+  check_true "mem 0" (Bitset.mem b 0);
+  check_true "mem 3" (Bitset.mem b 3);
+  check_false "mem 1" (Bitset.mem b 1);
+  (* growth well past the hint *)
+  Bitset.add b 977;
+  check_true "grown mem" (Bitset.mem b 977);
+  check_false "grown non-member" (Bitset.mem b 976);
+  check_int "count after growth" 3 (Bitset.count b);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Bitset.add: negative index") (fun () -> Bitset.add b (-1))
+
+(* ----- dense Tally vs sparse Tally ----- *)
+
+let prop_tally_dense_equals_sparse =
+  QCheck2.Test.make ~count:100
+    ~name:"dense tally observationally equals sparse tally"
+    QCheck2.Gen.(
+      list_size (int_range 0 80) (pair (int_bound 15) (int_bound 5)))
+    (fun events ->
+      let ids = Node_id.scatter ~seed:55L 16 in
+      let id_of i = List.nth ids i in
+      let sparse = Tally.create ~compare:Int.compare () in
+      let intr = Interner.create () in
+      let dense = Tally.create_dense ~compare:Int.compare ~interner:intr () in
+      List.iter
+        (fun (sender_ix, content) ->
+          Tally.add sparse ~sender:(id_of sender_ix) content;
+          Tally.add dense ~sender:(id_of sender_ix) content)
+        events;
+      let contents = List.sort compare (Tally.contents sparse) in
+      let sorted_senders t k =
+        List.sort Node_id.compare (Tally.senders t k)
+      in
+      List.sort compare (Tally.contents dense) = contents
+      && List.for_all
+           (fun k ->
+             Tally.count sparse k = Tally.count dense k
+             && sorted_senders sparse k = sorted_senders dense k)
+           contents
+      && Tally.max_by_count sparse = Tally.max_by_count dense
+      && List.for_all
+           (fun thr ->
+             List.sort compare (Tally.meeting sparse ~threshold:(fun c -> c >= thr))
+             = List.sort compare (Tally.meeting dense ~threshold:(fun c -> c >= thr)))
+           [ 1; 2; 4 ])
+
+let suite =
+  ( "pool+dense-index",
+    [
+      quick "Pool.map preserves order at jobs=1/2/8" test_pool_map_ordered;
+      quick "Pool.map with uneven per-cell work" test_pool_map_uneven_work;
+      quick "Pool.map on empty and singleton lists" test_pool_map_empty_and_small;
+      quick "Pool.map ~jobs:0 uses all cores" test_pool_map_jobs_zero;
+      quick "Pool.map re-raises the lowest-indexed exception"
+        test_pool_map_exception;
+      quick "Interner intern/extern round-trip" test_interner_roundtrip;
+      quick "Interner.iter ascending first-seen order" test_interner_iter_order;
+      quick "Bitset membership, growth, idempotence" test_bitset_basics;
+    ]
+    @ qcheck_cases [ prop_pool_matches_list_map; prop_tally_dense_equals_sparse ]
+  )
