@@ -7,7 +7,7 @@
 JOBS ?= 1
 
 .PHONY: all build test bench bench-fast bench-csv bench-json bench-check \
-	bench-baseline bench-gate chaos fmt fmt-check examples clean
+	bench-baseline bench-gate chaos fmt fmt-check linkcheck examples clean
 
 all: build
 
@@ -67,6 +67,10 @@ fmt:
 
 fmt-check:
 	dune build @fmt
+
+# Dead-link gate over the repo's markdown (top level + docs/); CI runs it.
+linkcheck:
+	dune exec bin/md_linkcheck.exe
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1,0 +1,111 @@
+(* md_linkcheck — dead-link gate for the repo's markdown.
+
+   Scans every *.md under the given roots (default: the current directory,
+   non-recursive, plus docs/) for inline links/images [text](target) and
+   checks that relative targets resolve to an existing file or directory.
+   External links (http/https/mailto) and pure #fragments are skipped —
+   this is an offline gate, not a crawler. Exit status 1 if any link is
+   dead, so CI can run it as-is.
+
+   Usage: md_linkcheck [FILE|DIR ...] *)
+
+let is_md name = Filename.check_suffix name ".md"
+
+let files_of_root root =
+  if Sys.is_directory root then
+    Sys.readdir root |> Array.to_list |> List.sort compare
+    |> List.filter is_md
+    |> List.map (Filename.concat root)
+  else [ root ]
+
+(* Inline [text](target) links, one line at a time. A hand-rolled scanner
+   rather than a regex: OCaml's Str is not in the dependency set and the
+   grammar here is tiny. Reference-style links and autolinks are out of
+   scope. *)
+let links_of_line line =
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match String.index_from_opt line !i '[' with
+    | None -> i := n
+    | Some lb -> (
+        match String.index_from_opt line lb ']' with
+        | None -> i := n
+        | Some rb ->
+            if rb + 1 < n && line.[rb + 1] = '(' then (
+              match String.index_from_opt line (rb + 1) ')' with
+              | None -> i := n
+              | Some rp ->
+                  out := String.sub line (rb + 2) (rp - rb - 2) :: !out;
+                  i := rp + 1)
+            else i := rb + 1));
+    ()
+  done;
+  List.rev !out
+
+let is_external target =
+  let has_prefix p =
+    String.length target >= String.length p
+    && String.sub target 0 (String.length p) = p
+  in
+  has_prefix "http://" || has_prefix "https://" || has_prefix "mailto:"
+
+let check_file path =
+  let dead = ref [] in
+  In_channel.with_open_text path (fun ic ->
+      let lineno = ref 0 in
+      try
+        while true do
+          let line = input_line ic in
+          incr lineno;
+          List.iter
+            (fun target ->
+              (* Drop any #fragment; an empty remainder was a pure anchor. *)
+              let file_part =
+                match String.index_opt target '#' with
+                | Some 0 -> ""
+                | Some i -> String.sub target 0 i
+                | None -> target
+              in
+              if file_part <> "" && not (is_external file_part) then
+                let resolved =
+                  if Filename.is_relative file_part then
+                    Filename.concat (Filename.dirname path) file_part
+                  else file_part
+                in
+                if not (Sys.file_exists resolved) then
+                  dead := (!lineno, target) :: !dead)
+            (links_of_line line)
+        done
+      with End_of_file -> ());
+  List.rev !dead
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "."; "docs" ]
+    | roots -> roots
+  in
+  let files =
+    roots
+    |> List.filter (fun r ->
+           Sys.file_exists r
+           ||
+           (Printf.eprintf "md_linkcheck: no such path %s\n" r;
+            exit 2))
+    |> List.concat_map files_of_root
+    |> List.sort_uniq compare
+  in
+  let broken = ref 0 in
+  List.iter
+    (fun path ->
+      List.iter
+        (fun (line, target) ->
+          incr broken;
+          Printf.printf "%s:%d: dead link (%s)\n" path line target)
+        (check_file path))
+    files;
+  Printf.printf "md_linkcheck: %d file(s), %d dead link(s)\n"
+    (List.length files) !broken;
+  if !broken > 0 then exit 1

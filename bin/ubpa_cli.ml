@@ -359,6 +359,86 @@ let order_cmd =
 
 (* ----- message-level trace ----- *)
 
+(* Offline analyses over a parsed JSONL trace (ubpa trace --file). Each is
+   a pure function of the event list, so they compose: --summarize
+   --per-round --top-senders 3 prints all three reports in order. *)
+
+let trace_summarize (events : Trace.event list) =
+  let rounds = List.fold_left (fun acc (e : Trace.event) -> max acc e.round) 0 events in
+  let nodes =
+    List.sort_uniq compare
+      (List.filter_map (fun (e : Trace.event) -> e.node) events)
+  in
+  let per_kind = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.event) ->
+      let k = Trace.kind_to_string e.kind in
+      Hashtbl.replace per_kind k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_kind k)))
+    events;
+  Fmt.pr "%d events, rounds 1..%d, %d distinct nodes@." (List.length events)
+    rounds (List.length nodes);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_kind []
+  |> List.sort (fun (ka, a) (kb, b) -> compare (-a, ka) (-b, kb))
+  |> List.iter (fun (k, v) -> Fmt.pr "  %-9s %d@." k v)
+
+let trace_per_round (events : Trace.event list) =
+  let rounds = List.fold_left (fun acc (e : Trace.event) -> max acc e.round) 0 events in
+  Fmt.pr "%-6s %-7s %s@." "round" "events" "by kind";
+  for r = 1 to rounds do
+    let here = List.filter (fun (e : Trace.event) -> e.round = r) events in
+    let per_kind = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Trace.event) ->
+        let k = Trace.kind_to_string e.kind in
+        Hashtbl.replace per_kind k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt per_kind k)))
+      here;
+    let breakdown =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_kind []
+      |> List.sort compare
+      |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+      |> String.concat " "
+    in
+    Fmt.pr "r%-5d %-7d %s@." r (List.length here) breakdown
+  done
+
+let trace_top_senders k (events : Trace.event list) =
+  let per_node = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match (e.kind, e.node) with
+      | (Trace.Send | Trace.Byz_send), Some id ->
+          Hashtbl.replace per_node id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per_node id))
+      | _ -> ())
+    events;
+  let ranked =
+    Hashtbl.fold (fun id v acc -> (id, v) :: acc) per_node []
+    |> List.sort (fun (ia, a) (ib, b) -> compare (-a, ia) (-b, ib))
+  in
+  Fmt.pr "top senders (send + byz-send events):@.";
+  List.iteri
+    (fun i (id, v) ->
+      if i < k then Fmt.pr "  %2d. %a  %d sends@." (i + 1) Ubpa_util.Node_id.pp id v)
+    ranked
+
+let trace_grep kind_str (events : Trace.event list) =
+  match Trace.kind_of_string kind_str with
+  | None ->
+      Fmt.epr "unknown event kind %S (try: join, leave, send, byz-send, \
+               output, halt, fault, engine)@."
+        kind_str;
+      exit 1
+  | Some kind ->
+      List.iter
+        (fun (e : Trace.event) ->
+          if e.kind = kind then
+            Fmt.pr "r%03d %a %s@." e.round
+              Fmt.(option ~none:(any "(engine)  ") Ubpa_util.Node_id.pp)
+              e.node e.what)
+        events
+
 let trace_cmd =
   let timeline_t =
     Arg.(
@@ -367,43 +447,132 @@ let trace_cmd =
           ~doc:"Render an ASCII per-node round timeline instead of a live \
                 event stream.")
   in
-  let run n f seed timeline =
-    check_nf n f;
-    (* A small consensus run with the engine's live trace enabled: every
-       send, output, and halt is printed as it happens. *)
-    let module C = Unknown_ba.Consensus.Make (Unknown_ba.Value.Int) in
-    let module H = Ubpa_harness.Harness.Make (C) in
-    let module A = Ubpa_adversary.Consensus_attacks.Make (Unknown_ba.Value.Int) in
-    let correct_ids, byz_ids =
-      Ubpa_harness.Harness.split_population ~seed:(i64 seed) ~n_correct:(n - f)
-        ~n_byz:f
-    in
-    let correct = List.mapi (fun i id -> (id, i mod 2)) correct_ids in
-    let byzantine = List.map (fun id -> (id, A.split_world 0 1)) byz_ids in
-    let trace = Trace.create ~live:(not timeline) () in
-    let o = H.execute ~trace ~max_rounds:200 ~correct ~byzantine () in
-    let stalled =
-      match o.H.finished with
-      | `All_halted | `Stopped -> []
-      | `Max_rounds_reached stalled ->
-          Fmt.epr "did not terminate@.";
-          stalled
-      | `No_correct_nodes -> assert false
-    in
-    if timeline then
-      Fmt.pr "%s@." (Timeline.to_string ~stalled (Timeline.of_trace trace))
-    else
-      Fmt.pr "@.%d trace events@." (List.length (Trace.events trace));
-    Fmt.pr "decisions:@.";
-    List.iter
-      (fun (id, v) -> Fmt.pr "  %a -> %d@." Ubpa_util.Node_id.pp id v)
-      o.H.outputs
+  let file_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "Analyze a JSONL trace file (one event object per line, as \
+             written by the bench pipeline's TRACE_CX1.jsonl) instead of \
+             running a live demo.")
+  in
+  let summarize_t =
+    Arg.(
+      value & flag
+      & info [ "summarize" ]
+          ~doc:"With --file: print event totals, round span, and a per-kind \
+                breakdown.")
+  in
+  let per_round_t =
+    Arg.(
+      value & flag
+      & info [ "per-round" ]
+          ~doc:"With --file: print a round-by-round event count with a \
+                per-kind breakdown.")
+  in
+  let top_senders_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top-senders" ] ~docv:"K"
+          ~doc:"With --file: rank nodes by send events and print the top K.")
+  in
+  let grep_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "grep" ] ~docv:"KIND"
+          ~doc:
+            "With --file: print only events of this kind (join, leave, \
+             send, byz-send, output, halt, fault, engine).")
+  in
+  let run n f seed timeline file summarize per_round top_senders grep =
+    match file with
+    | Some path ->
+        (* Offline mode: no simulation, just the recorded events. *)
+        let contents =
+          try In_channel.with_open_bin path In_channel.input_all
+          with Sys_error msg ->
+            Fmt.epr "%s@." msg;
+            exit 1
+        in
+        (match Trace.of_jsonl contents with
+        | Error msg ->
+            Fmt.epr "%s: %s@." path msg;
+            exit 1
+        | Ok events ->
+            let analyses =
+              List.concat
+                [
+                  (if summarize then [ fun () -> trace_summarize events ] else []);
+                  (if per_round then [ fun () -> trace_per_round events ] else []);
+                  (match top_senders with
+                  | Some k -> [ (fun () -> trace_top_senders k events) ]
+                  | None -> []);
+                  (match grep with
+                  | Some kind -> [ (fun () -> trace_grep kind events) ]
+                  | None -> []);
+                ]
+            in
+            if analyses = [] then
+              (* Default view: the round timeline. *)
+              Fmt.pr "%s@." (Timeline.to_string (Timeline.of_events events))
+            else
+              List.iteri
+                (fun i analyze ->
+                  if i > 0 then Fmt.pr "@.";
+                  analyze ())
+                analyses)
+    | None ->
+        check_nf n f;
+        (* A small consensus run with the engine's live trace enabled: every
+           send, output, and halt is printed as it happens. *)
+        let module C = Unknown_ba.Consensus.Make (Unknown_ba.Value.Int) in
+        let module H = Ubpa_harness.Harness.Make (C) in
+        let module A =
+          Ubpa_adversary.Consensus_attacks.Make (Unknown_ba.Value.Int)
+        in
+        let correct_ids, byz_ids =
+          Ubpa_harness.Harness.split_population ~seed:(i64 seed)
+            ~n_correct:(n - f) ~n_byz:f
+        in
+        let correct = List.mapi (fun i id -> (id, i mod 2)) correct_ids in
+        let byzantine = List.map (fun id -> (id, A.split_world 0 1)) byz_ids in
+        let trace = Trace.create ~live:(not timeline) () in
+        let o = H.execute ~trace ~max_rounds:200 ~correct ~byzantine () in
+        let stalled =
+          match o.H.finished with
+          | `All_halted | `Stopped -> []
+          | `Max_rounds_reached stalled ->
+              Fmt.epr "did not terminate@.";
+              stalled
+          | `No_correct_nodes -> assert false
+        in
+        let m = o.H.metrics in
+        if timeline then
+          Fmt.pr "%s@."
+            (Timeline.to_string ~stalled
+               ~wire:(Metrics.wire_msgs m, Metrics.wire_bits m)
+               (Timeline.of_trace trace))
+        else begin
+          Fmt.pr "@.%d trace events@." (List.length (Trace.events trace));
+          Fmt.pr "wire: %d msgs, %d bits@." (Metrics.wire_msgs m)
+            (Metrics.wire_bits m)
+        end;
+        Fmt.pr "decisions:@.";
+        List.iter
+          (fun (id, v) -> Fmt.pr "  %a -> %d@." Ubpa_util.Node_id.pp id v)
+          o.H.outputs
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a small consensus with a live message-level trace or an \
-             ASCII timeline")
-    Term.(const run $ n_t $ f_t $ seed_t $ timeline_t)
+             ASCII timeline, or analyze a recorded JSONL trace (--file) \
+             with --summarize, --per-round, --top-senders, --grep")
+    Term.(
+      const run $ n_t $ f_t $ seed_t $ timeline_t $ file_t $ summarize_t
+      $ per_round_t $ top_senders_t $ grep_t)
 
 (* ----- chaos sweep ----- *)
 

@@ -53,6 +53,7 @@ module Make (V : Value.S) = struct
     | King x, King y -> V.compare x y
 
   let equal_message a b = compare_message a b = 0
+  let encoded_bits = Protocol.structural_bits
 
   let king_of st phase = List.nth st.members ((phase - 1) mod st.n)
 

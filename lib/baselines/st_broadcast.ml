@@ -55,6 +55,7 @@ module Make (V : Value.S) = struct
         match V.compare m m' with 0 -> Node_id.compare s s' | c -> c)
 
   let equal_message a b = compare_message a b = 0
+  let encoded_bits = Protocol.structural_bits
 
   let step ~self:_ ~round ~stim:_ st ~inbox =
     st.local_round <- st.local_round + 1;

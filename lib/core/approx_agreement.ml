@@ -27,6 +27,7 @@ let pp_message ppf (Estimate v) = Fmt.pf ppf "estimate(%g)" v
    ill-defined on nan. *)
 let compare_message (Estimate a) (Estimate b) = Float.compare a b
 let equal_message a b = compare_message a b = 0
+let encoded_bits = Protocol.structural_bits
 
 let midpoint_rule values =
   match values with

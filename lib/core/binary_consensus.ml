@@ -60,6 +60,17 @@ include Protocol.Structural (struct
   type t = message
 end)
 
+(* The structural size model charges a full 64-bit word per immediate, which
+   misprices this protocol badly: its whole point is voting with single
+   bits. Spell the wire content out by hand — a 3-bit constructor tag
+   (5 constructors), one bit per boolean, one id-sized word for the echoed
+   candidate — so the bit-complexity experiments measure what the paper
+   counts. *)
+let encoded_bits = function
+  | Init -> 3
+  | Cand_echo _ -> 3 + Ubpa_obs.Sizing.word_bits
+  | Input _ | Support _ | Opinion _ -> 3 + 1
+
 let current_opinion st = st.x_v
 
 let phase st =

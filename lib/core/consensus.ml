@@ -14,6 +14,7 @@ module Make (V : Value.S) = struct
   let pp_message = Core.pp_message
   let compare_message = Core.compare_message
   let equal_message = Core.equal_message
+  let encoded_bits = Core.encoded_bits
   let init ~self ~round:_ input = { core = Core.create ~self ~input; decided_phase = None }
 
   let step ~self:_ ~round:_ ~stim:_ st ~inbox =

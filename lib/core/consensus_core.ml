@@ -39,6 +39,7 @@ module Make (V : Value.S) = struct
     | _ -> Int.compare (tag a) (tag b)
 
   let equal_message a b = compare_message a b = 0
+  let encoded_bits = Protocol.structural_bits
 
   type status = Running | Decided of V.t
 

@@ -47,6 +47,9 @@ module Make (V : Value.S) : sig
 
   val equal_message : message -> message -> bool
 
+  val encoded_bits : message -> int
+  (** Reference-encoding wire size ({!Ubpa_sim.Protocol.S.encoded_bits}). *)
+
   type status = Running | Decided of V.t
 
   type t

@@ -13,6 +13,7 @@ module Make (V : Value.S) = struct
   let pp_message = Core.pp_message
   let compare_message = Core.compare_message
   let equal_message = Core.equal_message
+  let encoded_bits = Core.encoded_bits
   let init ~self ~round:_ inputs = Core.create ~self ~inputs ()
 
   let step ~self:_ ~round:_ ~stim:_ st ~inbox =

@@ -61,6 +61,7 @@ module Make (V : Value.S) = struct
         match Int.compare i j with 0 -> compare_body x y | c -> c)
 
   let equal_message a b = compare_message a b = 0
+  let encoded_bits = Protocol.structural_bits
 
   type inst = {
     inst_id : int;

@@ -60,6 +60,7 @@ module Make (V : Value.S) = struct
         match V.compare m m' with 0 -> Node_id.compare s s' | c -> c)
 
   let equal_message a b = compare_message a b = 0
+  let encoded_bits = Protocol.structural_bits
 
   let note_senders st inbox =
     List.iter (fun (src, _) -> ignore (Interner.intern st.heard_from src)) inbox

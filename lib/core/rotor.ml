@@ -56,6 +56,7 @@ module Make (V : Value.S) = struct
     | Opinion x, Opinion y -> V.compare x y
 
   let equal_message a b = compare_message a b = 0
+  let encoded_bits = Protocol.structural_bits
 
   let note_senders st inbox =
     List.iter

@@ -40,6 +40,7 @@ module Make (V : Value.S) = struct
     | Con m, Con m' -> Core.compare_message m m'
 
   let equal_message a b = compare_message a b = 0
+  let encoded_bits = Protocol.structural_bits
 
   let step ~self:_ ~round:_ ~stim:_ st ~inbox =
     st.local_round <- st.local_round + 1;

@@ -90,6 +90,7 @@ module Make (V : Value.S) = struct
     | _ -> Int.compare (msg_tag a) (msg_tag b)
 
   let equal_message a b = compare_message a b = 0
+  let encoded_bits = Protocol.structural_bits
 
   let membership st = Node_id.Set.elements st.s
   let logical_round st = st.r

@@ -1,0 +1,117 @@
+open Ubpa_util
+
+type fit = {
+  name : string;
+  exponent : int;
+  headroom : float;
+  constant : float;
+  slope : float;
+  points : (int * float) list;
+  holds : bool;
+}
+
+(* Least-squares slope of log y over log n, over points with n > 1 aggregated
+   per distinct n. Returns 0. when fewer than two usable points exist. *)
+let loglog_slope points =
+  let pts =
+    List.filter_map
+      (fun (n, y) ->
+        if n > 0 && y > 0. then Some (log (float_of_int n), log y) else None)
+      points
+  in
+  match pts with
+  | [] | [ _ ] -> 0.
+  | pts ->
+      let len = float_of_int (List.length pts) in
+      let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+      let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+      let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+      let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+      let denom = (len *. sxx) -. (sx *. sx) in
+      if Float.abs denom < 1e-12 then 0.
+      else ((len *. sxy) -. (sx *. sy)) /. denom
+
+let fit ~name ~exponent ?(headroom = 2.0) ?(slope_tol = 0.35) points =
+  let points = List.sort (fun (a, _) (b, _) -> Int.compare a b) points in
+  let pow n = float_of_int n ** float_of_int exponent in
+  let constant =
+    match points with
+    | (n, y) :: _ when n > 0 -> y /. pow n
+    | _ -> 0.
+  in
+  let envelope_ok =
+    points <> []
+    && List.for_all (fun (n, y) -> y <= headroom *. constant *. pow n) points
+  in
+  let slope = loglog_slope points in
+  let distinct_ns =
+    List.sort_uniq Int.compare (List.map fst points) |> List.length
+  in
+  let slope_ok =
+    distinct_ns < 2 || slope <= float_of_int exponent +. slope_tol
+  in
+  let holds = envelope_ok && slope_ok in
+  { name; exponent; headroom; constant; slope; points; holds }
+
+let pp ppf f =
+  Format.fprintf ppf "%s: O(n^%d) %s (c=%.3f slope=%.2f headroom=%.1f)" f.name
+    f.exponent
+    (if f.holds then "holds" else "VIOLATED")
+    f.constant f.slope f.headroom
+
+let to_json f : Json.t =
+  `Assoc
+    [
+      ("name", `String f.name);
+      ("exponent", `Int f.exponent);
+      ("headroom", `Float f.headroom);
+      ("constant", `Float f.constant);
+      ("slope", `Float f.slope);
+      ( "points",
+        `List
+          (List.map (fun (n, y) -> `List [ `Int n; `Float y ]) f.points) );
+      ("holds", `Bool f.holds);
+    ]
+
+let of_json (j : Json.t) =
+  let ( let* ) = Result.bind in
+  let* name =
+    match Option.bind (Json.member "name" j) Json.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error "Complexity.of_json: missing \"name\""
+  in
+  let* exponent =
+    match Option.bind (Json.member "exponent" j) Json.to_int with
+    | Some i -> Ok i
+    | None -> Error "Complexity.of_json: missing \"exponent\""
+  in
+  let float_field field =
+    match Option.bind (Json.member field j) Json.to_float with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "Complexity.of_json: missing %S" field)
+  in
+  let* headroom = float_field "headroom" in
+  let* constant = float_field "constant" in
+  let* slope = float_field "slope" in
+  let* points =
+    match Option.bind (Json.member "points" j) Json.to_list with
+    | None -> Error "Complexity.of_json: missing \"points\""
+    | Some items ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match Json.to_list item with
+            | Some [ n; y ] -> (
+                match (Json.to_int n, Json.to_float y) with
+                | Some n, Some y -> Ok ((n, y) :: acc)
+                | _ -> Error "Complexity.of_json: bad point")
+            | _ -> Error "Complexity.of_json: bad point")
+          (Ok []) items
+        |> Result.map List.rev
+  in
+  let* holds =
+    match Option.bind (Json.member "holds" j) Json.to_bool with
+    | Some b -> Ok b
+    | None -> Error "Complexity.of_json: missing \"holds\""
+  in
+  Ok { name; exponent; headroom; constant; slope; points; holds }

@@ -1,0 +1,43 @@
+(** Asymptotic-envelope fitting for measured complexity curves.
+
+    The paper states message/bit bounds as O(n^k); an experiment measures
+    concrete counts along an [n]-sweep. A {!fit} turns those points into a
+    machine-checkable verdict: calibrate the constant [c] on the smallest
+    sweep point, then require
+
+    - {b envelope}: every measured point stays within
+      [headroom * c * n^k], and
+    - {b slope}: the least-squares slope of [log y] against [log n] does
+      not exceed [k + slope_tol] — growth genuinely of a lower or equal
+      order, not just a generous constant.
+
+    Both must hold for [holds]. Fits are serialized into the benchmark
+    artifact's [complexity] block (schema [ubpa-bench/2]) and mirrored as
+    pass/fail claims, so the asymptotics are regression-gated exactly like
+    the correctness claims. *)
+
+type fit = {
+  name : string;  (** e.g. ["rb.msgs"]. *)
+  exponent : int;  (** [k] in the [c * n^k] envelope. *)
+  headroom : float;  (** Allowed multiple of the calibrated envelope. *)
+  constant : float;  (** [c], calibrated on the smallest-[n] point. *)
+  slope : float;  (** Least-squares log-log slope of the points. *)
+  points : (int * float) list;  (** [(n, measured)], ascending in [n]. *)
+  holds : bool;
+}
+
+val fit :
+  name:string ->
+  exponent:int ->
+  ?headroom:float ->
+  ?slope_tol:float ->
+  (int * float) list ->
+  fit
+(** [headroom] defaults to 2.0, [slope_tol] to 0.35. Points are sorted by
+    [n]; at least two distinct [n] values with positive measurements are
+    required for the slope to be meaningful — with fewer, [holds] is the
+    envelope check alone. *)
+
+val pp : Format.formatter -> fit -> unit
+val to_json : fit -> Ubpa_util.Json.t
+val of_json : Ubpa_util.Json.t -> (fit, string) result

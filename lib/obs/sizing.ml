@@ -1,0 +1,31 @@
+let word_bits = 64
+let tag_bits = 8
+
+(* Walk the runtime representation. Messages are immutable pure data
+   (required by Protocol.S), so the traversal terminates; sharing is
+   deliberately not detected — a value sent twice costs twice. *)
+let rec obj_bits (r : Obj.t) : int =
+  if Obj.is_int r then word_bits
+  else
+    let tag = Obj.tag r in
+    if tag = Obj.double_tag then tag_bits + word_bits
+    else if tag = Obj.string_tag then
+      word_bits + (8 * String.length (Obj.obj r : string))
+    else if tag = Obj.double_array_tag then
+      word_bits + (word_bits * Obj.size r)
+    else if tag = Obj.custom_tag then
+      (* int32 / int64 / nativeint boxes; priced as one word. *)
+      word_bits
+    else if tag < Obj.no_scan_tag then begin
+      let acc = ref tag_bits in
+      for i = 0 to Obj.size r - 1 do
+        acc := !acc + obj_bits (Obj.field r i)
+      done;
+      !acc
+    end
+    else
+      (* Remaining no-scan blocks (abstract data): price the payload as
+         opaque words. Protocol messages never get here. *)
+      word_bits + (word_bits * Obj.size r)
+
+let structural_bits v = obj_bits (Obj.repr v)

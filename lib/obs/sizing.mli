@@ -1,0 +1,39 @@
+(** Structural wire-size model.
+
+    The paper's bit-complexity bounds need every delivered message priced
+    in bits, but the protocols exchange plain OCaml values — there is no
+    real codec. This module defines the repo's {e reference encoding}: a
+    deterministic, compiler-independent cost model applied to the value's
+    structure, used as the default for {!Ubpa_sim.Protocol.S.encoded_bits}.
+
+    The model (documented in [docs/OBSERVABILITY.md]):
+
+    - an immediate (int, bool, char, constant constructor, unit): 64 bits
+      — one machine word on the wire, the same convention the paper's
+      O(n·b) bounds use for a b-bit value;
+    - a non-constant constructor / record / tuple: an 8-bit tag plus the
+      cost of every field;
+    - a float: 64 bits (plus the 8-bit tag of the box it sits in);
+    - a string: a 64-bit length header plus 8 bits per byte;
+    - a flat float array: a 64-bit length header plus 64 bits per element;
+    - boxed [int32]/[int64]/[nativeint]: 64 bits.
+
+    The traversal follows the runtime representation, so the result is a
+    pure function of the value's structure — identical on OCaml 4.14 and
+    5.x, on any architecture, at any [--jobs] level. That determinism is
+    what lets bit counts live in committed benchmark baselines.
+
+    The model deliberately over-prices small payloads (a [bool] costs a
+    word, not one bit); protocols for which that skews a paper bound
+    override [encoded_bits] with a hand-written sizer instead
+    (e.g. {!Unknown_ba.Binary_consensus}). *)
+
+val word_bits : int
+(** Bits charged per immediate value (64). *)
+
+val tag_bits : int
+(** Bits charged per non-constant constructor tag (8). *)
+
+val structural_bits : 'a -> int
+(** The reference-encoding size of a value, in bits. Total on any acyclic
+    pure-data value; messages handed to the engine are exactly that. *)

@@ -1,0 +1,47 @@
+(** Wire-level delivery accounting.
+
+    One accumulator per network run: every envelope a delivery core
+    accepts (post-dedup — a dropped duplicate never crossed the model's
+    wire twice) is recorded here with its recipient, round, message kind,
+    and encoded size in bits. Receive-omission faults are applied {e
+    after} routing, so wire counts include messages a faulty receiver
+    subsequently dropped: the message was transmitted either way.
+
+    Counters are totals plus three breakdowns — per round, per recipient
+    node, per message kind — each a [(messages, bits)] pair. Both delivery
+    cores feed the same accumulator through the same hook, which is what
+    makes {!equal} a meaningful cross-core identity check (claim-gated in
+    experiment CX1, like delivery counts before it). *)
+
+open Ubpa_util
+
+type t
+
+type count = { msgs : int; bits : int }
+
+val create : unit -> t
+val record : t -> round:int -> recipient:Node_id.t -> kind:string -> bits:int -> unit
+
+val messages : t -> int
+(** Total deliveries recorded (equals the sum of any breakdown). *)
+
+val bits : t -> int
+(** Total bits delivered. *)
+
+val per_round : t -> (int * count) list
+(** Ascending by round. *)
+
+val per_node : t -> (Node_id.t * count) list
+(** Ascending by recipient id. *)
+
+val per_kind : t -> (string * count) list
+(** Ascending by kind. Kinds come from the network's [classify] function;
+    ["msg"] when none was given. *)
+
+val equal : t -> t -> bool
+(** Totals and all three breakdowns agree. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result

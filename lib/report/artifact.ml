@@ -1,6 +1,7 @@
 open Ubpa_util
 
-let schema_version = "ubpa-bench/1"
+let schema_version = "ubpa-bench/2"
+let schema_v1 = "ubpa-bench/1"
 
 type status = Pass | Fail
 
@@ -16,6 +17,7 @@ type t = {
   rows : string list list;
   claims : claim list;
   metrics : (string * float) list;
+  complexity : Ubpa_obs.Complexity.fit list;
 }
 
 let status_to_string = function Pass -> "pass" | Fail -> "fail"
@@ -72,6 +74,8 @@ let to_json t : Json.t =
           ] );
       ("claims", `List (List.map claim_to_json t.claims));
       ("metrics", `Assoc (List.map (fun (k, v) -> (k, `Float v)) t.metrics));
+      ( "complexity",
+        `List (List.map Ubpa_obs.Complexity.to_json t.complexity) );
     ]
 
 let ( let* ) = Result.bind
@@ -100,7 +104,9 @@ let claim_of_json j =
 
 let of_json j =
   let* schema = string_field "schema" j in
-  if schema <> schema_version then
+  (* v1 artifacts (pre-complexity) stay loadable so old baselines can be
+     diffed against v2 candidates; they simply have no complexity block. *)
+  if schema <> schema_version && schema <> schema_v1 then
     Error (Printf.sprintf "artifact: unsupported schema %S" schema)
   else
     let* experiment = string_field "experiment" j in
@@ -162,6 +168,18 @@ let of_json j =
             fields
       | _ -> []
     in
+    let* complexity =
+      match Option.bind (Json.member "complexity" j) Json.to_list with
+      | None -> Ok []
+      | Some items ->
+          List.fold_left
+            (fun acc c ->
+              let* acc = acc in
+              let* c = Ubpa_obs.Complexity.of_json c in
+              Ok (c :: acc))
+            (Ok []) items
+          |> Result.map List.rev
+    in
     Ok
       {
         experiment;
@@ -173,6 +191,7 @@ let of_json j =
         rows;
         claims;
         metrics;
+        complexity;
       }
 
 (* ------------------------------------------------------------------ *)

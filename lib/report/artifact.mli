@@ -10,7 +10,12 @@
 open Ubpa_util
 
 val schema_version : string
-(** Currently ["ubpa-bench/1"]; bumped on incompatible schema changes. *)
+(** Currently ["ubpa-bench/2"] (v1 plus the per-experiment [complexity]
+    block); bumped on incompatible schema changes. *)
+
+val schema_v1 : string
+(** The pre-complexity schema string ["ubpa-bench/1"]; still accepted by
+    {!of_json} so historical baselines remain diffable. *)
 
 type status = Pass | Fail
 
@@ -32,6 +37,10 @@ type t = {
   metrics : (string * float) list;
       (** Derived scalar metrics, e.g. [("msgs:sum", 1234.)]; the
           regression gate compares these across artifact directories. *)
+  complexity : Ubpa_obs.Complexity.fit list;
+      (** Machine-checked asymptotic fits (schema v2, e.g. the CX1
+          [c*n^k] envelopes); empty for experiments without a sweep-wide
+          complexity story and for loaded v1 artifacts. *)
 }
 
 val derive_metrics :

@@ -33,7 +33,22 @@ let check_claims (artifacts : Artifact.t list) =
                     message =
                       Printf.sprintf "claim %s failed: %s" c.cid c.description;
                   })
-          a.claims)
+          a.claims
+        @ List.filter_map
+            (fun (f : Ubpa_obs.Complexity.fit) ->
+              if f.holds then None
+              else
+                Some
+                  {
+                    experiment = a.experiment;
+                    severity = Failure;
+                    message =
+                      Printf.sprintf
+                        "complexity fit %s violated: measured slope %.2f \
+                         against O(n^%d)"
+                        f.name f.slope f.exponent;
+                  })
+            a.complexity)
     artifacts
 
 let pct_growth ~baseline ~candidate =
@@ -127,6 +142,39 @@ let compare_pair ~threshold ~time_threshold ~exact (base : Artifact.t)
         | Some _ -> None)
       base.claims
   in
+  (* Complexity fits (schema v2) gate like claims: a fit that vanished or
+     whose envelope no longer holds is a regression. A v1 baseline has no
+     fits, so candidates may add them freely. *)
+  let complexity_regressions =
+    List.filter_map
+      (fun (bf : Ubpa_obs.Complexity.fit) ->
+        match
+          List.find_opt
+            (fun (cf : Ubpa_obs.Complexity.fit) -> cf.name = bf.name)
+            cand.complexity
+        with
+        | None ->
+            Some
+              {
+                experiment;
+                severity = Failure;
+                message =
+                  Printf.sprintf "complexity fit %s disappeared" bf.name;
+              }
+        | Some cf when bf.holds && not cf.holds ->
+            Some
+              {
+                experiment;
+                severity = Failure;
+                message =
+                  Printf.sprintf
+                    "complexity fit %s regressed: O(n^%d) envelope no longer \
+                     holds (slope %.2f)"
+                    cf.name cf.exponent cf.slope;
+              }
+        | Some _ -> None)
+      base.complexity
+  in
   let comparable =
     base.fast = cand.fast && List.length base.rows = List.length cand.rows
   in
@@ -159,7 +207,8 @@ let compare_pair ~threshold ~time_threshold ~exact (base : Artifact.t)
     | Some _ -> []
   in
   let exactness = if exact then exact_issues ~experiment base cand else [] in
-  claim_regressions @ metric_issues @ time_issues @ exactness
+  claim_regressions @ complexity_regressions @ metric_issues @ time_issues
+  @ exactness
 
 let compare ?(threshold = 10.) ?time_threshold ?(exact = false)
     ~(baseline : Artifact.t list) ~(candidate : Artifact.t list) () =

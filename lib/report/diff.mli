@@ -6,9 +6,10 @@
       this is the self-checking part (the paper's bounds, re-evaluated on
       every run).
     - {!compare} — candidate artifacts against a baseline directory:
-      fails on claim regressions (pass → fail), on missing experiments,
-      and on deterministic derived metrics (message counts, round
-      counts, …) that grew beyond a relative threshold. Wall-clock time
+      fails on claim regressions (pass → fail), on complexity fits that
+      vanished or stopped holding, on missing experiments, and on
+      deterministic derived metrics (message counts, round counts, …)
+      that grew beyond a relative threshold. Wall-clock time
       is only gated when an explicit [time_threshold] is supplied, since
       timing is noisy on shared CI runners. *)
 
@@ -21,9 +22,9 @@ val failures : issue list -> issue list
 val pp_issue : Format.formatter -> issue -> unit
 
 val check_claims : Artifact.t list -> issue list
-(** One [Failure] per failed claim; one [Info] per artifact with an
-    empty claims block (an experiment without machine-checked claims is
-    suspicious but not fatal). *)
+(** One [Failure] per failed claim and per violated complexity fit; one
+    [Info] per artifact with an empty claims block (an experiment without
+    machine-checked claims is suspicious but not fatal). *)
 
 val compare :
   ?threshold:float ->

@@ -2,12 +2,24 @@ open Ubpa_util
 
 type impl = Indexed | Naive
 
+type 'm on_deliver = recipient:Node_id.t -> src:Node_id.t -> 'm -> unit
+
+let no_notify : _ on_deliver = fun ~recipient:_ ~src:_ _ -> ()
+
+let notify_of = function None -> no_notify | Some f -> f
+
 let by_sender (a, _) (b, _) = Node_id.compare a b
 
 (* Seed-engine core, kept as the executable specification. The final
    [List.sort] is OCaml's stable sort, so same-sender messages stay in
-   send order — the indexed core must match that, not just the multiset. *)
-let route_reference ~equal ~present ~envelopes =
+   send order — the indexed core must match that, not just the multiset.
+
+   [on_deliver] fires at the accept point — after the dedup decided the
+   delivery counts — with the recipient, sender, and payload; both cores
+   call it at exactly the point where they [incr delivered], so wire
+   accounting inherits the cores' delivery-identity guarantee. *)
+let route_reference ?on_deliver ~equal ~present ~envelopes () =
+  let notify = notify_of on_deliver in
   let inboxes : (Node_id.t * 'm) list ref Node_id.Map.t =
     Node_id.Set.fold
       (fun id acc -> Node_id.Map.add id (ref []) acc)
@@ -26,7 +38,8 @@ let route_reference ~equal ~present ~envelopes =
         in
         if not dup then begin
           box := (env.src, env.payload) :: !box;
-          incr delivered
+          incr delivered;
+          notify ~recipient ~src:env.src env.payload
         end
   in
   List.iter
@@ -40,8 +53,10 @@ let route_reference ~equal ~present ~envelopes =
 
 (* Per-recipient delivery bucket: items newest-first, plus a sender-keyed
    table of the payloads already delivered so the dup check scans only one
-   sender's distinct payloads instead of the whole inbox. *)
+   sender's distinct payloads instead of the whole inbox. [owner] is the
+   recipient's id, carried so the accept point can report deliveries. *)
 type 'm box = {
+  owner : Node_id.t;
   mutable rev_items : (Node_id.t * 'm) list;
   seen : (Node_id.t, 'm list) Hashtbl.t;
 }
@@ -50,20 +65,23 @@ type 'm box = {
    per-network interner so broadcast fan-out indexes an array instead of
    hashing node ids. Per-recipient dedup state is identical to the sparse
    indexed path, so results are bit-for-bit the same. *)
-let route_indexed_dense ~intr ~equal ~present ~envelopes =
+let route_indexed_dense ?on_deliver ~intr ~equal ~present ~envelopes () =
+  let notify = notify_of on_deliver in
   let pres = Node_id.Set.elements present in
   let pres_ix = List.map (Interner.intern intr) pres in
   let boxes = Array.make (max 1 (Interner.size intr)) None in
-  List.iter
-    (fun ix -> boxes.(ix) <- Some { rev_items = []; seen = Hashtbl.create 8 })
-    pres_ix;
+  List.iter2
+    (fun id ix ->
+      boxes.(ix) <- Some { owner = id; rev_items = []; seen = Hashtbl.create 8 })
+    pres pres_ix;
   let delivered = ref 0 in
   let push box src payload =
     let prior = Option.value ~default:[] (Hashtbl.find_opt box.seen src) in
     if not (List.exists (equal payload) prior) then begin
       Hashtbl.replace box.seen src (payload :: prior);
       box.rev_items <- (src, payload) :: box.rev_items;
-      incr delivered
+      incr delivered;
+      notify ~recipient:box.owner ~src payload
     end
   in
   let bcast_seen : (Node_id.t, 'm list) Hashtbl.t = Hashtbl.create 16 in
@@ -103,12 +121,14 @@ let route_indexed_dense ~intr ~equal ~present ~envelopes =
   in
   (inboxes, !delivered)
 
-let route_indexed_sparse ~equal ~present ~envelopes =
+let route_indexed_sparse ?on_deliver ~equal ~present ~envelopes () =
+  let notify = notify_of on_deliver in
   let n = Node_id.Set.cardinal present in
   let boxes : (Node_id.t, _ box) Hashtbl.t = Hashtbl.create (max 16 (2 * n)) in
   Node_id.Set.iter
     (fun id ->
-      Hashtbl.replace boxes id { rev_items = []; seen = Hashtbl.create 8 })
+      Hashtbl.replace boxes id
+        { owner = id; rev_items = []; seen = Hashtbl.create 8 })
     present;
   let delivered = ref 0 in
   let push box src payload =
@@ -116,7 +136,8 @@ let route_indexed_sparse ~equal ~present ~envelopes =
     if not (List.exists (equal payload) prior) then begin
       Hashtbl.replace box.seen src (payload :: prior);
       box.rev_items <- (src, payload) :: box.rev_items;
-      incr delivered
+      incr delivered;
+      notify ~recipient:box.owner ~src payload
     end
   in
   (* Sender-level broadcast dedup: the present set is fixed for the round,
@@ -152,12 +173,12 @@ let route_indexed_sparse ~equal ~present ~envelopes =
   in
   (inboxes, !delivered)
 
-let route_indexed ~interner ~equal ~present ~envelopes =
+let route_indexed ?on_deliver ~interner ~equal ~present ~envelopes () =
   match interner with
-  | Some intr -> route_indexed_dense ~intr ~equal ~present ~envelopes
-  | None -> route_indexed_sparse ~equal ~present ~envelopes
+  | Some intr -> route_indexed_dense ?on_deliver ~intr ~equal ~present ~envelopes ()
+  | None -> route_indexed_sparse ?on_deliver ~equal ~present ~envelopes ()
 
-let route ~interner ~impl ~equal ~present ~envelopes =
+let route ?on_deliver ~interner ~impl ~equal ~present ~envelopes () =
   match impl with
-  | Indexed -> route_indexed ~interner ~equal ~present ~envelopes
-  | Naive -> route_reference ~equal ~present ~envelopes
+  | Indexed -> route_indexed ?on_deliver ~interner ~equal ~present ~envelopes ()
+  | Naive -> route_reference ?on_deliver ~equal ~present ~envelopes ()

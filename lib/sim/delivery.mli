@@ -22,11 +22,20 @@ open Ubpa_util
 
 type impl = Indexed  (** Engine v2 (default). *) | Naive  (** Seed engine. *)
 
+type 'm on_deliver = recipient:Node_id.t -> src:Node_id.t -> 'm -> unit
+(** Delivery-accounting hook. Every core invokes it at its accept point —
+    immediately after a push survives the dedup and is counted — so a run
+    observed through [on_deliver] sees exactly the deliveries the returned
+    count reports, in the core's acceptance order. The network layer uses
+    it to feed {!Ubpa_obs.Wire} with per-message sizes. *)
+
 val route_indexed :
+  ?on_deliver:'m on_deliver ->
   interner:Interner.t option ->
   equal:('m -> 'm -> bool) ->
   present:Node_id.Set.t ->
   envelopes:'m Envelope.t list ->
+  unit ->
   (Node_id.t * 'm) list Node_id.Map.t * int
 (** Single-pass bucketed delivery. Per recipient, a hash table keyed by
     sender holds the payloads already delivered from that sender, so each
@@ -42,20 +51,25 @@ val route_indexed :
     entry; unknown recipients are dropped exactly like absent ones. *)
 
 val route_reference :
+  ?on_deliver:'m on_deliver ->
   equal:('m -> 'm -> bool) ->
   present:Node_id.Set.t ->
   envelopes:'m Envelope.t list ->
+  unit ->
   (Node_id.t * 'm) list Node_id.Map.t * int
 (** The seed engine's core: list inboxes, linear duplicate scan per push.
     Quadratic in per-recipient traffic; bit-for-bit the same result as
-    {!route_indexed}. *)
+    {!route_indexed} — including the [on_deliver] multiset, which is what
+    the CX1 cross-core wire-identity claim checks. *)
 
 val route :
+  ?on_deliver:'m on_deliver ->
   interner:Interner.t option ->
   impl:impl ->
   equal:('m -> 'm -> bool) ->
   present:Node_id.Set.t ->
   envelopes:'m Envelope.t list ->
+  unit ->
   (Node_id.t * 'm) list Node_id.Map.t * int
 (** Dispatch on [impl]. [interner] only affects the [Indexed] core; the
     reference core stays the untouched executable specification. *)

@@ -5,6 +5,9 @@ type t = {
   mutable sends_correct : int;
   mutable sends_byzantine : int;
   mutable delivered : int;
+  mutable wire_msgs : int;
+  mutable wire_bits : int;
+  mutable bits_per_round : (int * int) list; (* reversed *)
   mutable per_round : (int * int) list; (* reversed *)
   mutable round_times : (int * float) list; (* reversed, ms *)
   mutable elapsed_ms : float;
@@ -17,6 +20,9 @@ let create () =
     sends_correct = 0;
     sends_byzantine = 0;
     delivered = 0;
+    wire_msgs = 0;
+    wire_bits = 0;
+    bits_per_round = [];
     per_round = [];
     round_times = [];
     elapsed_ms = 0.;
@@ -27,7 +33,10 @@ let rounds t = t.rounds
 let sends_correct t = t.sends_correct
 let sends_byzantine t = t.sends_byzantine
 let delivered t = t.delivered
+let wire_msgs t = t.wire_msgs
+let wire_bits t = t.wire_bits
 let delivered_per_round t = List.rev t.per_round
+let wire_bits_per_round t = List.rev t.bits_per_round
 let elapsed_ms t = t.elapsed_ms
 let round_times_ms t = List.rev t.round_times
 let tick_round t = t.rounds <- t.rounds + 1
@@ -50,6 +59,14 @@ let record_delivered t ~round n =
   | (r, c) :: rest when r = round -> t.per_round <- (r, c + n) :: rest
   | _ -> t.per_round <- (round, n) :: t.per_round
 
+let record_wire t ~round ~bits =
+  t.wire_msgs <- t.wire_msgs + 1;
+  t.wire_bits <- t.wire_bits + bits;
+  match t.bits_per_round with
+  | (r, acc) :: rest when r = round ->
+      t.bits_per_round <- (r, acc + bits) :: rest
+  | _ -> t.bits_per_round <- (round, bits) :: t.bits_per_round
+
 let record_round_time t ~round ms =
   t.elapsed_ms <- t.elapsed_ms +. ms;
   match t.round_times with
@@ -67,12 +84,19 @@ let to_json t : Json.t =
       ("sends_correct", `Int t.sends_correct);
       ("sends_byzantine", `Int t.sends_byzantine);
       ("delivered", `Int t.delivered);
+      ("wire_msgs", `Int t.wire_msgs);
+      ("wire_bits", `Int t.wire_bits);
       ("elapsed_ms", `Float t.elapsed_ms);
       ( "delivered_per_round",
         `List
           (List.map
              (fun (r, c) -> `List [ `Int r; `Int c ])
              (delivered_per_round t)) );
+      ( "wire_bits_per_round",
+        `List
+          (List.map
+             (fun (r, b) -> `List [ `Int r; `Int b ])
+             (wire_bits_per_round t)) );
       ( "round_times_ms",
         `List
           (List.map
@@ -114,6 +138,18 @@ let of_json (j : Json.t) =
   let* sends_correct = int_field "sends_correct" in
   let* sends_byzantine = int_field "sends_byzantine" in
   let* delivered = int_field "delivered" in
+  (* Wire accounting postdates the v1 schema; absent fields mean an old
+     recording with no wire data, not a malformed document. *)
+  let opt_int name =
+    Option.value ~default:0 (Option.bind (Json.member name j) Json.to_int)
+  in
+  let wire_msgs = opt_int "wire_msgs" in
+  let wire_bits = opt_int "wire_bits" in
+  let* bits_per_round =
+    match Json.member "wire_bits_per_round" j with
+    | None -> Ok []
+    | Some _ -> pair_list "wire_bits_per_round" Json.to_int
+  in
   let* elapsed_ms = float_field "elapsed_ms" in
   let* per_round = pair_list "delivered_per_round" Json.to_int in
   let* round_times = pair_list "round_times_ms" Json.to_float in
@@ -133,6 +169,9 @@ let of_json (j : Json.t) =
       sends_correct;
       sends_byzantine;
       delivered;
+      wire_msgs;
+      wire_bits;
+      bits_per_round = List.rev bits_per_round;
       per_round = List.rev per_round;
       round_times = List.rev round_times;
       elapsed_ms;

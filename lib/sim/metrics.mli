@@ -21,6 +21,19 @@ val delivered : t -> int
 val delivered_per_round : t -> (int * int) list
 (** [(round, delivered-in-that-round)] rows, ascending. *)
 
+val wire_msgs : t -> int
+(** Messages that crossed the wire: deduplicated deliveries {e before}
+    receive-omission faults (the message was transmitted even if a faulty
+    receiver then dropped it). Equals [delivered] under fault-free runs. *)
+
+val wire_bits : t -> int
+(** Total bits that crossed the wire, priced by the protocol's
+    [encoded_bits]; same pre-receive-omission semantics as
+    {!wire_msgs}. *)
+
+val wire_bits_per_round : t -> (int * int) list
+(** [(round, wire-bits-in-that-round)] rows, ascending. *)
+
 val kinds : t -> (string * int) list
 (** Per-message-kind send counts, sorted by kind; populated only when the
     engine was created with a [classify] function. *)
@@ -38,6 +51,9 @@ val record_send : t -> byzantine:bool -> unit
 val record_kind : t -> string -> unit
 val record_delivered : t -> round:int -> int -> unit
 
+val record_wire : t -> round:int -> bits:int -> unit
+(** One message of the given size crossed the wire. *)
+
 val record_round_time : t -> round:int -> float -> unit
 (** Wall-clock milliseconds the given round took. *)
 
@@ -46,8 +62,12 @@ val pp : Format.formatter -> t -> unit
 val to_json : t -> Json.t
 (** Stable schema:
     [{"rounds", "sends_correct", "sends_byzantine", "delivered",
-      "elapsed_ms", "delivered_per_round": [[round, count], ...],
+      "wire_msgs", "wire_bits", "elapsed_ms",
+      "delivered_per_round": [[round, count], ...],
+      "wire_bits_per_round": [[round, bits], ...],
       "round_times_ms": [[round, ms], ...], "kinds": {kind: count}}]. *)
 
 val of_json : Json.t -> (t, string) result
-(** Inverse of {!to_json}; used by artifact tooling and tests. *)
+(** Inverse of {!to_json}; used by artifact tooling and tests. The wire
+    fields are optional on input (they postdate the v1 artifacts) and
+    default to zero/empty. *)

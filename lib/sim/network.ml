@@ -45,6 +45,7 @@ module Make (P : Protocol.S) = struct
     classify : (P.message -> string) option;
     stimulus : round:int -> Node_id.t -> P.stimulus list;
     metrics : Metrics.t;
+    wire : Ubpa_obs.Wire.t;
     mutable round : int;
     mutable correct : correct_node Node_id.Map.t;
     mutable byzantine : byz_node Node_id.Map.t;
@@ -73,6 +74,7 @@ module Make (P : Protocol.S) = struct
         classify;
         stimulus;
         metrics = Metrics.create ();
+        wire = Ubpa_obs.Wire.create ();
         round = 0;
         correct = Node_id.Map.empty;
         byzantine = Node_id.Map.empty;
@@ -225,9 +227,24 @@ module Make (P : Protocol.S) = struct
         kept
       end
     in
+    (* Wire accounting fires at the cores' accept points: post-dedup (a
+       suppressed duplicate never crossed the wire twice), pre
+       receive-omission (the message was transmitted; the faulty receiver
+       dropped it afterwards). Both cores drive the same hook, so CX1's
+       cross-core wire-identity claim inherits the delivery-identity
+       guarantee. *)
+    let kind_of =
+      match t.classify with Some f -> f | None -> fun _ -> "msg"
+    in
+    let on_deliver ~recipient ~src:_ payload =
+      let bits = P.encoded_bits payload in
+      Ubpa_obs.Wire.record t.wire ~round:t.round ~recipient
+        ~kind:(kind_of payload) ~bits;
+      Metrics.record_wire t.metrics ~round:t.round ~bits
+    in
     let inboxes, delivered =
-      Delivery.route ~interner:(Some t.intr) ~impl:t.delivery ~equal:P.equal_message
-        ~present ~envelopes
+      Delivery.route ~on_deliver ~interner:(Some t.intr) ~impl:t.delivery
+        ~equal:P.equal_message ~present ~envelopes ()
     in
     (* Receive-omission is per recipient, after routing: a broadcast may be
        lost at one victim and arrive everywhere else. *)
@@ -433,6 +450,7 @@ module Make (P : Protocol.S) = struct
 
   let round t = t.round
   let metrics t = t.metrics
+  let wire t = t.wire
   let trace t = t.tr
 
   let report t id =

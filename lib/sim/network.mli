@@ -106,6 +106,14 @@ module Make (P : Protocol.S) : sig
   (** Rounds executed so far (0 before the first {!step_round}). *)
 
   val metrics : t -> Metrics.t
+
+  val wire : t -> Ubpa_obs.Wire.t
+  (** Wire-level accounting: per-node / per-round / per-kind message and
+      bit counters, recorded at the delivery cores' accept points
+      (post-dedup, pre receive-omission — see {!Ubpa_obs.Wire}). Message
+      sizes come from the protocol's [encoded_bits]; kinds from
+      [classify] (["msg"] when none was given). *)
+
   val trace : t -> Trace.t
 
   val correct_ids : t -> Node_id.t list

@@ -53,8 +53,21 @@ module type S = sig
       delivery core uses it for the per-round per-recipient
       [(sender, payload)] dedup. *)
 
+  val encoded_bits : message -> int
+  (** Wire size of a message under the repo's reference encoding, in bits.
+      The delivery cores charge this for every accepted delivery
+      ({!Ubpa_obs.Wire}), which is what the bit-complexity experiments
+      measure. Most protocols take the structural default
+      ({!Ubpa_obs.Sizing.structural_bits}, re-exported as
+      {!structural_bits} and included in {!Structural}); override it only
+      where the structural model misprices the payload (e.g. one-bit
+      votes). Must be deterministic and compiler-independent — sizes land
+      in committed benchmark baselines. *)
+
   val pp_message : message Fmt.t
 end
+
+let structural_bits : 'a -> int = Ubpa_obs.Sizing.structural_bits
 
 (** The pre-engine-v2 default: plain structural (polymorphic) comparison.
     Correct for any message type built from immutable non-float
@@ -66,6 +79,7 @@ end) =
 struct
   let compare_message : M.t -> M.t -> int = Stdlib.compare
   let equal_message : M.t -> M.t -> bool = Stdlib.( = )
+  let encoded_bits : M.t -> int = Ubpa_obs.Sizing.structural_bits
 end
 
 module No_stimulus = struct

@@ -24,7 +24,7 @@ let fresh_cell () =
     faults = 0;
   }
 
-let of_trace trace =
+let of_events events =
   let by_node : (Node_id.t, (int, cell) Hashtbl.t) Hashtbl.t =
     Hashtbl.create 16
   in
@@ -59,12 +59,14 @@ let of_trace trace =
           | Trace.Halt -> cell.halted <- true
           | Trace.Fault -> cell.faults <- cell.faults + 1
           | Trace.Leave | Trace.Engine -> ()))
-    (Trace.events trace);
+    events;
   let cells =
     Hashtbl.fold (fun node rows acc -> (node, rows) :: acc) by_node []
     |> List.sort (fun (a, _) (b, _) -> Node_id.compare a b)
   in
   { max_round = !max_round; cells }
+
+let of_trace trace = of_events (Trace.events trace)
 
 let rounds t = t.max_round
 let nodes t = List.map fst t.cells
@@ -84,8 +86,14 @@ let render_cell cell =
       in
       if marks = "" then "." else marks
 
-let to_string ?(max_rounds = 40) ?(stalled = []) t =
+let to_string ?(max_rounds = 40) ?(stalled = []) ?wire t =
   let footer =
+    (match wire with
+    | None -> ""
+    | Some (msgs, bits) ->
+        Printf.sprintf "wire: %d msgs, %d bits (%.1f KiB)\n" msgs bits
+          (float_of_int bits /. 8192.))
+    ^
     if stalled = [] then ""
     else
       Fmt.str "stalled (never halted): %a\n"

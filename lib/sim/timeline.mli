@@ -22,13 +22,19 @@ val of_trace : Trace.t -> t
 (** Builds the matrix from the events the engine recorded. Traces created
     with tracing disabled yield an empty timeline. *)
 
+val of_events : Trace.event list -> t
+(** Same, from a bare event list — what [ubpa trace --file] builds after
+    {!Trace.of_jsonl}. *)
+
 val rounds : t -> int
 val nodes : t -> Node_id.t list
 
-val to_string : ?max_rounds:int -> ?stalled:Node_id.t list -> t -> string
+val to_string :
+  ?max_rounds:int -> ?stalled:Node_id.t list -> ?wire:int * int -> t -> string
 (** Render; [max_rounds] (default 40) truncates wide executions with an
     ellipsis column. [stalled] (typically the [`Max_rounds_reached]
     payload of [Network.run]) appends a footer naming the correct nodes
-    that never halted. *)
+    that never halted. [wire] (a [(messages, bits)] pair, typically
+    [Metrics.wire_msgs]/[wire_bits]) prepends a wire-load footer. *)
 
 val pp : Format.formatter -> t -> unit

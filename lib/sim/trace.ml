@@ -100,3 +100,19 @@ let to_jsonl t =
     (List.map
        (fun e -> Json.to_string ~pretty:false (event_to_json e) ^ "\n")
        (events t))
+
+let of_jsonl s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) acc rest
+        else
+          let parsed =
+            Result.bind (Json.of_string line) (fun j -> event_of_json j)
+          in
+          (match parsed with
+          | Ok e -> go (lineno + 1) (e :: acc) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 [] lines

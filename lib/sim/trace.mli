@@ -73,3 +73,8 @@ val to_json : t -> Json.t
 val to_jsonl : t -> string
 (** One compact JSON object per line, in order of recording — the trace
     interchange format written by [--trace-jsonl] style tooling. *)
+
+val of_jsonl : string -> (event list, string) result
+(** Parse a JSONL trace back into events ([ubpa trace --file] reads
+    these). Blank lines are skipped; the first malformed line fails the
+    whole parse with its line number. Inverse of {!to_jsonl}. *)

@@ -43,10 +43,11 @@ let random_traffic rng =
 
 let check_same ~present ~envelopes =
   let ref_inboxes, ref_count =
-    Delivery.route_reference ~equal:Int.equal ~present ~envelopes
+    Delivery.route_reference ~equal:Int.equal ~present ~envelopes ()
   in
   let idx_inboxes, idx_count =
     Delivery.route_indexed ~interner:None ~equal:Int.equal ~present ~envelopes
+      ()
   in
   Alcotest.(check int) "delivered count" ref_count idx_count;
   Alcotest.(check bool)
@@ -104,6 +105,7 @@ let test_inbox_order () =
   in
   let inboxes, _ =
     Delivery.route_indexed ~interner:None ~equal:Int.equal ~present ~envelopes
+      ()
   in
   Alcotest.(check (list (pair int int)))
     "sender-sorted, send order within sender"

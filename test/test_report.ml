@@ -9,7 +9,8 @@ let mk ?(experiment = "E1") ?(fast = true) ?(elapsed_ms = 12.5)
         { Artifact.cid = "E1.a"; description = "bound a"; status = Artifact.Pass };
         { Artifact.cid = "E1.b"; description = "bound b"; status = Artifact.Pass };
       ])
-    ?(rows = [ [ "4"; "yes"; "48" ]; [ "7"; "yes"; "147" ] ]) () =
+    ?(rows = [ [ "4"; "yes"; "48" ]; [ "7"; "yes"; "147" ] ])
+    ?(complexity = []) () =
   let columns = [ "n"; "ok"; "msgs" ] in
   {
     Artifact.experiment;
@@ -21,6 +22,7 @@ let mk ?(experiment = "E1") ?(fast = true) ?(elapsed_ms = 12.5)
     rows;
     claims;
     metrics = Artifact.derive_metrics ~columns ~rows;
+    complexity;
   }
 
 let fail_claim c = { c with Artifact.status = Artifact.Fail }
