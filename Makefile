@@ -7,7 +7,8 @@
 JOBS ?= 1
 
 .PHONY: all build test bench bench-fast bench-csv bench-json bench-check \
-	bench-baseline bench-gate chaos fmt fmt-check linkcheck examples clean
+	bench-baseline bench-gate check check-full chaos fmt fmt-check \
+	linkcheck examples clean
 
 all: build
 
@@ -54,6 +55,26 @@ bench-gate:
 	dune exec bench/main.exe -- --fast --no-timing --json results/json-fast/ \
 		--jobs $(JOBS)
 	dune exec bin/bench_diff.exe -- --exact bench/baseline results/json-fast/
+
+# Exhaustive small-model safety checking (MC1): the six calibrated cells
+# through `ubpa check`'s engine, then the claim gate over the verdicts.
+# CI runs this on both compiler legs; `make bench-gate` additionally
+# diffs the artifact byte-for-byte against bench/baseline/BENCH_MC1.json.
+check:
+	dune exec bench/main.exe -- --only MC1 --fast --no-timing \
+		--json results/json-mc/ --jobs $(JOBS)
+	dune exec bin/bench_diff.exe -- --check-claims results/json-mc/
+
+# Deeper, slower sweeps straight through the CLI (~4 min serial) — not
+# part of any gate. `make check-full JOBS=0` uses every core for the
+# frontier expansion.
+check-full:
+	dune exec bin/ubpa_cli.exe -- check --protocol rb -n 5 -f 1 \
+		--max-rounds 3 --jobs $(JOBS) --expect verified
+	dune exec bin/ubpa_cli.exe -- check --protocol consensus -n 4 -f 1 \
+		--max-rounds 8 --jobs $(JOBS) --expect verified
+	dune exec bin/ubpa_cli.exe -- check --protocol rb -n 4 -f 1 \
+		--max-rounds 6 --jobs $(JOBS) --expect verified
 
 # Fixed-seed chaos smoke sweep: randomized benign-fault schedules under
 # the online safety monitors, per protocol and fault budget. Within the

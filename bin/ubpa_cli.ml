@@ -650,6 +650,117 @@ let chaos_cmd =
              online safety monitors, per fault budget")
     Term.(const run $ protocol_t $ budgets_t $ runs_t $ jobs_t $ seed_t)
 
+(* ----- model checker ----- *)
+
+let check_cmd =
+  let protocol_t =
+    let doc = "Protocol model to check: rb or consensus." in
+    Arg.(
+      value
+      & opt (enum [ ("rb", `Rb); ("consensus", `Consensus) ]) `Rb
+      & info [ "protocol" ] ~docv:"PROTOCOL" ~doc)
+  in
+  let max_rounds_t =
+    let doc = "Bound on explored rounds." in
+    Arg.(value & opt int 5 & info [ "max-rounds" ] ~docv:"R" ~doc)
+  in
+  let jobs_t =
+    let doc = "Worker domains for frontier expansion (OCaml 5 only)." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+  in
+  let max_states_t =
+    let doc = "Distinct-configuration budget per root." in
+    Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~docv:"S" ~doc)
+  in
+  let crashes_t =
+    let doc = "Crash-stop events the adversary may schedule per execution." in
+    Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"C" ~doc)
+  in
+  let omissions_t =
+    let doc =
+      "Receive-omission events the adversary may schedule per execution."
+    in
+    Arg.(value & opt int 0 & info [ "omissions" ] ~docv:"O" ~doc)
+  in
+  let no_symmetry_t =
+    let doc = "Disable the clone-class symmetry reduction." in
+    Arg.(value & flag & info [ "no-symmetry" ] ~doc)
+  in
+  let cex_t =
+    let doc = "Write the minimized counterexample trace (JSONL) to $(docv)." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cex" ] ~docv:"FILE" ~doc)
+  in
+  let expect_t =
+    let doc =
+      "Exit non-zero unless the verdict is $(docv) (verified or violation)."
+    in
+    Arg.(
+      value
+      & opt (some (enum [ ("verified", `Verified); ("violation", `Violation) ]))
+          None
+      & info [ "expect" ] ~docv:"VERDICT" ~doc)
+  in
+  let run protocol n f max_rounds jobs max_states crashes omissions
+      no_symmetry cex_file expect seed =
+    let check (module M : Ubpa_check.Model.S) =
+      let module C = Ubpa_check.Checker.Make (M) in
+      let r =
+        C.check ~jobs ~symmetry:(not no_symmetry) ~max_states
+          ~crash_budget:crashes ~omit_budget:omissions ~seed:(i64 seed) ~n ~f
+          ~max_rounds ()
+      in
+      Fmt.pr "%s n=%d f=%d max-rounds=%d: %s@." M.name n f max_rounds
+        (Ubpa_check.Checker.verdict_to_string r.verdict);
+      Fmt.pr
+        "  roots=%d explored=%d distinct=%d dedup-hits=%d sym-skips=%d \
+         frontier-peak=%d depth=%d@."
+        r.stats.roots r.stats.explored r.stats.distinct r.stats.dedup_hits
+        r.stats.sym_skips r.stats.frontier_peak r.stats.depth;
+      (match r.cex with
+      | None -> ()
+      | Some cx ->
+          Fmt.pr
+            "  counterexample: root=%s property=%s round=%d byz-msgs=%d \
+             crashes=%d omissions=%d replayed=%b@.  %s@."
+            cx.cx_root cx.cx_property cx.cx_round cx.cx_byz_msgs
+            cx.cx_crashes cx.cx_omits cx.cx_replayed cx.cx_detail;
+          match cex_file with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              output_string oc cx.cx_jsonl;
+              close_out oc;
+              Fmt.pr "  trace written to %s (replay with: ubpa trace --file \
+                      %s)@." path path);
+      r.verdict
+    in
+    let verdict =
+      match protocol with
+      | `Rb -> check (module Ubpa_check.Models.Rb)
+      | `Consensus -> check (module Ubpa_check.Models.Consensus)
+    in
+    match (expect, verdict) with
+    | None, (Ubpa_check.Checker.Verified | Violated) -> ()
+    | None, Out_of_budget -> exit 2
+    | Some `Verified, Ubpa_check.Checker.Verified -> ()
+    | Some `Violation, Violated -> ()
+    | Some _, got ->
+        Fmt.epr "expectation failed: got %s@."
+          (Ubpa_check.Checker.verdict_to_string got);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Bounded exhaustive safety checking of the core protocols \
+             under the finite M1 adversary (see docs/CHECKING.md)")
+    Term.(
+      const run $ protocol_t $ n_t $ f_t $ max_rounds_t $ jobs_t
+      $ max_states_t $ crashes_t $ omissions_t $ no_symmetry_t $ cex_t
+      $ expect_t $ seed_t)
+
 (* ----- impossibility ----- *)
 
 let impossibility_cmd =
@@ -711,5 +822,6 @@ let () =
             order_cmd;
             trace_cmd;
             chaos_cmd;
+            check_cmd;
             impossibility_cmd;
           ]))

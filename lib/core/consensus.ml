@@ -28,4 +28,12 @@ module Make (V : Value.S) = struct
   let decided_phase st = st.decided_phase
   let current_opinion st = Core.opinion st.core
   let member_count st = Core.n_v st.core
+
+  let copy_state st = { st with core = Core.copy st.core }
+
+  let state_key st =
+    Printf.sprintf "%s;d=%s" (Core.key st.core)
+      (match st.decided_phase with
+      | None -> "-"
+      | Some p -> string_of_int p)
 end

@@ -28,4 +28,12 @@ module Make (V : Value.S) : sig
 
   val member_count : state -> int
   (** The node's fixed [n_v], 0 before round 3. *)
+
+  val copy_state : state -> state
+  (** Independent snapshot; stepping the copy never affects the original.
+      Used by the bounded checker to branch a configuration. *)
+
+  val state_key : state -> string
+  (** Canonical id-space fingerprint ({!Core.key} plus the decided phase);
+      equal keys mean equal behavior on equal future inboxes. *)
 end

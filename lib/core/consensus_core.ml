@@ -89,6 +89,57 @@ module Make (V : Value.S) = struct
   let members t = t.members_asc
   let n_v t = t.n_v
 
+  let copy t =
+    {
+      t with
+      rotor = Rotor_core.copy t.rotor;
+      intr = Interner.copy t.intr;
+      phase_silent = Bitset.copy t.phase_silent;
+    }
+
+  (* Canonical id-space fingerprint for the bounded checker's dedup.
+     Set-semantics fields ([intr] membership, [phase_silent], the echo and
+     strongprefer buffers — every consumer runs them through a tally whose
+     thresholds and deterministic tie-break are insertion-order free) are
+     sorted; everything else is copied verbatim. *)
+  let key t =
+    let members = ref [] in
+    Interner.iter t.intr (fun _ id -> members := id :: !members);
+    let members = List.sort Node_id.compare !members in
+    let silent =
+      Bitset.fold t.phase_silent ~init:[] ~f:(fun acc ix ->
+          if ix < t.n_v then Interner.extern t.intr ix :: acc else acc)
+      |> List.sort Node_id.compare
+    in
+    let pair_cmp (a, b) (c, d) =
+      match Node_id.compare a c with 0 -> Node_id.compare b d | x -> x
+    in
+    let cands = List.sort pair_cmp t.cand_buffer in
+    let stash =
+      List.sort
+        (fun (a, x) (b, y) ->
+          match Node_id.compare a b with 0 -> V.compare x y | c -> c)
+        t.strong_stash
+    in
+    let pp_opt_v = Fmt.(option ~none:(any "-") V.pp) in
+    Fmt.str "r=%d;x=%a;n=%d;m=%a;rot=%s;cb=%a;co=%a;ss=%a;si=%a;sp=%a;st=%a;ps=%a"
+      t.local_round V.pp t.x_v t.n_v
+      Fmt.(list ~sep:comma Node_id.pp)
+      members
+      (Rotor_core.fingerprint t.rotor)
+      Fmt.(
+        list ~sep:semi (fun ppf (s, p) ->
+            Fmt.pf ppf "%a>%a" Node_id.pp s Node_id.pp p))
+      cands
+      Fmt.(option ~none:(any "-") Node_id.pp)
+      t.coordinator
+      Fmt.(
+        list ~sep:semi (fun ppf (s, x) ->
+            Fmt.pf ppf "%a:%a" Node_id.pp s V.pp x))
+      stash pp_opt_v t.sent_input pp_opt_v t.sent_prefer pp_opt_v t.sent_strong
+      Fmt.(list ~sep:comma Node_id.pp)
+      silent
+
   let phase t =
     if t.local_round < 3 then 0 else ((t.local_round - 3) / 5) + 1
 

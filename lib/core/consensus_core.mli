@@ -75,4 +75,14 @@ module Make (V : Value.S) : sig
   (** The fixed member set, empty before round 3. *)
 
   val n_v : t -> int
+
+  val copy : t -> t
+  (** Independent snapshot; stepping the copy never affects the
+      original. Used by the bounded checker to branch a configuration. *)
+
+  val key : t -> string
+  (** Canonical id-space fingerprint: equal keys mean the two machines
+      behave identically on identical future inboxes. Set-semantics
+      buffers are sorted before encoding (their order never reaches a
+      threshold or the deterministic tally tie-break). *)
 end

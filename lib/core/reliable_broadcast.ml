@@ -34,6 +34,33 @@ module Make (V : Value.S) = struct
 
   let name = "reliable-broadcast"
 
+  let copy_state st = { st with heard_from = Interner.copy st.heard_from }
+
+  (* Canonical id-space fingerprint. [heard_from] is a set (only [size] and
+     membership feed the dynamics), so it is externed and sorted; the
+     [accepted] list is sorted by pair because its order only affects the
+     order of entries inside the output list, never a tally or threshold —
+     equal keys therefore mean equal behavior on equal future inboxes. *)
+  let state_key st =
+    let heard = ref [] in
+    Interner.iter st.heard_from (fun _ id -> heard := id :: !heard);
+    let heard = List.sort Node_id.compare !heard in
+    let acc =
+      List.sort
+        (fun a b -> Pair.compare (a.payload, a.sender) (b.payload, b.sender))
+        st.accepted
+    in
+    let pp_acc ppf a =
+      Fmt.pf ppf "%a/%a@%d" V.pp a.payload Node_id.pp a.sender a.accepted_round
+    in
+    Fmt.str "r=%d;p=%a;h=%a;a=%a" st.local_round
+      Fmt.(option ~none:(any "-") V.pp)
+      st.my_payload
+      Fmt.(list ~sep:comma Node_id.pp)
+      heard
+      Fmt.(list ~sep:semi pp_acc)
+      acc
+
   let init ~self:_ ~round:_ input =
     {
       my_payload = input;

@@ -43,4 +43,14 @@ module Make (V : Value.S) : sig
 
   val view : message -> message_view
   val inject : message_view -> message
+
+  val copy_state : state -> state
+  (** Independent snapshot; stepping the copy never affects the original.
+      Used by the bounded checker to branch a configuration. *)
+
+  val state_key : state -> string
+  (** Canonical id-space fingerprint: equal keys mean the two states
+      behave identically on identical future inboxes (the [accepted] list
+      is compared as a set — its order only shows up in the output list,
+      never in a threshold). Feeds the checker's state-hash dedup. *)
 end

@@ -76,3 +76,18 @@ let rotor_round t ~self ~n_v ~echoes =
 
 let candidates t = t.c
 let selections t = List.rev t.history
+
+let copy t =
+  { t with echoers = Interner.copy t.echoers }
+
+(* Canonical description of the parts of the rotor that influence future
+   rounds: C_v (already ascending), S_v (a set), and the loop index.
+   [history] only feeds introspection and [echoers] is an index table, so
+   neither belongs in the fingerprint. *)
+let fingerprint t =
+  Fmt.str "c=%a;s=%a;r=%d"
+    Fmt.(list ~sep:comma Node_id.pp)
+    t.c
+    Fmt.(list ~sep:comma Node_id.pp)
+    (Node_id.Set.elements t.s)
+    t.r

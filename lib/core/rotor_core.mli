@@ -42,3 +42,12 @@ val candidates : t -> Node_id.t list
 
 val selections : t -> (int * Node_id.t) list
 (** [(rotor round index, coordinator)] history, oldest first. *)
+
+val copy : t -> t
+(** Independent snapshot; stepping the copy never affects the original. *)
+
+val fingerprint : t -> string
+(** Canonical encoding of the dynamics-relevant state ([C_v], [S_v], loop
+    index) in id space: equal fingerprints mean the two rotors behave
+    identically on identical future echoes. Used by the bounded checker's
+    state-hash dedup. *)

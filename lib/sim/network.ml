@@ -468,6 +468,11 @@ module Make (P : Protocol.S) = struct
 
   let reports t = List.map (report t) (correct_ids t)
 
+  let states t =
+    List.map
+      (fun id -> (id, (Node_id.Map.find id t.correct).c_state))
+      (correct_ids t)
+
   let outputs t =
     List.filter_map
       (fun r -> Option.map (fun o -> (r.id, o)) r.last_output)

@@ -133,5 +133,10 @@ module Make (P : Protocol.S) : sig
   val outputs : t -> (Node_id.t * P.output) list
   (** Correct nodes that produced an output, with their latest output. *)
 
+  val states : t -> (Node_id.t * P.state) list
+  (** Every correct node's current protocol state, ascending id. Exposed
+      for differential tests (engine vs the bounded checker's synthetic
+      delivery) that compare terminal states byte for byte. *)
+
   val all_halted : t -> bool
 end

@@ -23,3 +23,11 @@ let add t ix =
   end
 
 let count t = t.count
+let copy t = { bits = Bytes.copy t.bits; count = t.count }
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for ix = 0 to (8 * Bytes.length t.bits) - 1 do
+    if mem t ix then acc := f !acc ix
+  done;
+  !acc

@@ -19,3 +19,9 @@ val add : t -> int -> unit
 
 val count : t -> int
 (** Number of distinct indices added. *)
+
+val copy : t -> t
+(** Independent snapshot of the set. *)
+
+val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold over the member indices in ascending order. *)

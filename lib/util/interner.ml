@@ -33,6 +33,7 @@ let intern t id =
       t.size <- t.size + 1;
       ix
 
+let copy t = { tbl = Hashtbl.copy t.tbl; ids = Array.copy t.ids; size = t.size }
 let find_opt t id = Hashtbl.find_opt t.tbl (Node_id.to_int id)
 let mem t id = Hashtbl.mem t.tbl (Node_id.to_int id)
 

@@ -10,6 +10,11 @@ type t
 val create : ?hint:int -> unit -> t
 (** Fresh empty interner. [hint] sizes the initial tables. *)
 
+val copy : t -> t
+(** Independent snapshot: interning into the copy never affects the
+    original (and vice versa). Used by the bounded checker to branch
+    mutable protocol states. *)
+
 val intern : t -> Node_id.t -> int
 (** Dense index for [id], assigning the next free index ([size t]) on first
     sight. Idempotent: interning the same id twice returns the same index. *)
