@@ -7,7 +7,7 @@
 JOBS ?= 1
 
 .PHONY: all build test bench bench-fast bench-csv bench-json bench-check \
-	bench-baseline bench-gate check check-full chaos fmt fmt-check \
+	bench-baseline bench-gate check check-full chaos runtime fmt fmt-check \
 	linkcheck examples clean
 
 all: build
@@ -82,6 +82,18 @@ check-full:
 # degrades with a first-violation report. See EXPERIMENTS.md (R1).
 chaos:
 	dune exec bin/ubpa_cli.exe -- chaos
+
+# Networked-runtime smoke: per-node concurrent processes on both
+# transports, each run gated by the lockstep-simulator oracle (the exit
+# code is the verdict). Needs an OCaml 5 build; on 4.14 this fails with
+# "runtime unavailable". See EXPERIMENTS.md (RT1) for the bench version.
+runtime:
+	dune exec bin/ubpa_cli.exe -- run --runtime domains --protocol consensus -n 5
+	dune exec bin/ubpa_cli.exe -- run --runtime socket --protocol consensus -n 5
+	dune exec bin/ubpa_cli.exe -- run --runtime domains --protocol rb -n 5 \
+		--max-rounds 6
+	dune exec bin/ubpa_cli.exe -- run --runtime socket --protocol rb -n 5 \
+		--max-rounds 6
 
 fmt:
 	dune build @fmt --auto-promote

@@ -439,6 +439,55 @@ let trace_grep kind_str (events : Trace.event list) =
               e.node e.what)
         events
 
+let trace_pp_event ppf (e : Trace.event) =
+  Fmt.pf ppf "round %d %s%s: %s" e.Trace.round
+    (Trace.kind_to_string e.Trace.kind)
+    (match e.Trace.node with
+    | None -> ""
+    | Some id -> Fmt.str " %a" Ubpa_util.Node_id.pp id)
+    e.Trace.what
+
+(* ubpa trace --diff A.jsonl B.jsonl: first divergent event + per-kind
+   count deltas, nonzero exit on divergence — the offline face of the
+   Trace.diff_events primitive the runtime's oracle gate uses. *)
+let trace_diff path_a path_b =
+  let load path =
+    let contents =
+      try In_channel.with_open_bin path In_channel.input_all
+      with Sys_error msg ->
+        Fmt.epr "%s@." msg;
+        exit 1
+    in
+    match Trace.of_jsonl contents with
+    | Ok events -> events
+    | Error msg ->
+        Fmt.epr "%s: %s@." path msg;
+        exit 1
+  in
+  let a = load path_a and b = load path_b in
+  let d = Trace.diff_events a b in
+  Fmt.pr "%s: %d event(s)@.%s: %d event(s)@." path_a d.Trace.length_a path_b
+    d.Trace.length_b;
+  let deltas =
+    List.filter (fun (_, ca, cb) -> ca <> cb) d.Trace.kind_counts
+  in
+  if deltas <> [] then begin
+    Fmt.pr "per-kind deltas:@.";
+    List.iter
+      (fun (k, ca, cb) -> Fmt.pr "  %-8s %d vs %d (%+d)@." k ca cb (cb - ca))
+      deltas
+  end;
+  match d.Trace.first_divergence with
+  | None -> Fmt.pr "traces are identical@."
+  | Some (i, ea, eb) ->
+      let side ppf = function
+        | Some e -> trace_pp_event ppf e
+        | None -> Fmt.pf ppf "(stream ended)"
+      in
+      Fmt.pr "first divergence at event %d:@.  A: %a@.  B: %a@." i side ea
+        side eb;
+      exit 1
+
 let trace_cmd =
   let timeline_t =
     Arg.(
@@ -487,7 +536,28 @@ let trace_cmd =
             "With --file: print only events of this kind (join, leave, \
              send, byz-send, output, halt, fault, engine).")
   in
-  let run n f seed timeline file summarize per_round top_senders grep =
+  let diff_t =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Compare two JSONL traces given as positional arguments: report \
+             per-kind count deltas and the first divergent event; exit \
+             nonzero on divergence.")
+  in
+  let files_t =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE")
+  in
+  let run n f seed timeline file summarize per_round top_senders grep diff
+      files =
+    if diff then begin
+      match files with
+      | [ a; b ] -> trace_diff a b
+      | _ ->
+          Fmt.epr "ubpa trace --diff needs exactly two trace files@.";
+          exit 2
+    end
+    else
     match file with
     | Some path ->
         (* Offline mode: no simulation, just the recorded events. *)
@@ -568,11 +638,171 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a small consensus with a live message-level trace or an \
-             ASCII timeline, or analyze a recorded JSONL trace (--file) \
-             with --summarize, --per-round, --top-senders, --grep")
+             ASCII timeline, analyze a recorded JSONL trace (--file) with \
+             --summarize, --per-round, --top-senders, --grep, or compare \
+             two JSONL traces (--diff A.jsonl B.jsonl)")
     Term.(
       const run $ n_t $ f_t $ seed_t $ timeline_t $ file_t $ summarize_t
-      $ per_round_t $ top_senders_t $ grep_t)
+      $ per_round_t $ top_senders_t $ grep_t $ diff_t $ files_t)
+
+(* ----- networked runtime ----- *)
+
+(* ubpa run: drive the protocol over actual concurrent per-node processes
+   (lib/runtime) instead of the lockstep simulator, then hold the run to
+   the simulator's verdict: the recorded delivery schedule must replay
+   cleanly through the indexed core, and decisions, decide rounds, trace
+   events and wire accounting must match a fresh simulator run on the
+   same population. Needs an OCaml 5 build; on 4.14 it fails gracefully
+   with "runtime unavailable". *)
+let run_cmd =
+  let runtime_t =
+    Arg.(
+      value
+      & opt (enum [ ("domains", `Domains); ("socket", `Socket) ]) `Domains
+      & info [ "runtime" ] ~docv:"TRANSPORT"
+          ~doc:
+            "Transport backend: domains (OCaml 5 domains with in-process \
+             mailboxes) or socket (Unix-domain socketpairs with \
+             length-prefixed framing).")
+  in
+  let protocol_t =
+    Arg.(
+      value
+      & opt (enum [ ("consensus", `Consensus); ("rb", `Rb) ]) `Consensus
+      & info [ "protocol" ] ~docv:"P"
+          ~doc:"Protocol to run: consensus or rb (reliable broadcast).")
+  in
+  let round_ms_t =
+    Arg.(
+      value & opt float 0.
+      & info [ "round-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock round duration in milliseconds; 0 runs rounds flat \
+             out.")
+  in
+  let max_rounds_t =
+    Arg.(
+      value & opt int 32
+      & info [ "max-rounds" ] ~docv:"R"
+          ~doc:
+            "Stop after R rounds if the protocol has not halted (rb never \
+             halts by design).")
+  in
+  let trace_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the networked run's trace as JSONL to $(docv) (same \
+             vocabulary as the simulator's; analyze or compare with ubpa \
+             trace).")
+  in
+  let finish ~transport ~n ~rounds ~late ~frame_bytes ~wire ~checks ~events
+      ~decisions ~trace_out =
+    Fmt.pr "runtime=%s n=%d rounds=%d late-frames=%d frame-bytes=%d@."
+      transport n rounds late frame_bytes;
+    Fmt.pr "wire: %d msgs, %d bits@."
+      (Ubpa_obs.Wire.messages wire)
+      (Ubpa_obs.Wire.bits wire);
+    Fmt.pr "oracle checks:@.";
+    List.iter
+      (fun (name, ok, detail) ->
+        if ok then Fmt.pr "  %-13s ok@." name
+        else Fmt.pr "  %-13s FAIL: %s@." name detail)
+      checks;
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc
+              (Trace.to_jsonl (Trace.of_events events)));
+        Fmt.pr "trace written to %s@." path);
+    Fmt.pr "decisions:@.";
+    List.iter (fun line -> Fmt.pr "  %s@." line) decisions;
+    if not (List.for_all (fun (_, ok, _) -> ok) checks) then exit 1
+  in
+  let run runtime protocol n seed round_ms max_rounds trace_out =
+    let ids = Ubpa_harness.Harness.make_ids ~seed:(i64 seed) n in
+    match protocol with
+    | `Consensus ->
+        let module E =
+          Ubpa_harness.Runtime_exec.Make (Scenarios.Consensus_int.P) in
+        let correct = List.mapi (fun i id -> (id, i mod 2)) ids in
+        (match
+           E.compare_with_sim ~transport:runtime ~round_ms ~max_rounds
+             ~correct ()
+         with
+        | Error e ->
+            Fmt.epr "error: %s@." e;
+            exit 1
+        | Ok v ->
+            finish ~transport:v.E.v_run.E.RT.r_transport ~n
+              ~rounds:v.E.v_run.E.RT.r_rounds
+              ~late:v.E.v_run.E.RT.r_late_frames
+              ~frame_bytes:v.E.v_run.E.RT.r_frame_bytes
+              ~wire:v.E.v_run.E.RT.r_wire
+              ~checks:
+                (List.map
+                   (fun c -> (c.E.c_name, c.E.c_ok, c.E.c_detail))
+                   v.E.v_checks)
+              ~events:v.E.v_run.E.RT.r_events
+              ~decisions:
+                (List.filter_map
+                   (fun (s : E.RT.node_summary) ->
+                     Option.map
+                       (fun o ->
+                         Fmt.str "%a -> %d" Ubpa_util.Node_id.pp s.E.RT.ns_id
+                           o)
+                       s.E.RT.ns_output)
+                   v.E.v_run.E.RT.r_nodes)
+              ~trace_out)
+    | `Rb ->
+        let module E = Ubpa_harness.Runtime_exec.Make (Scenarios.Rb.P) in
+        let correct =
+          List.mapi
+            (fun i id ->
+              (id, if i = 0 then Some (Printf.sprintf "m%d" seed) else None))
+            ids
+        in
+        (match
+           E.compare_with_sim ~transport:runtime ~round_ms ~max_rounds
+             ~correct ()
+         with
+        | Error e ->
+            Fmt.epr "error: %s@." e;
+            exit 1
+        | Ok v ->
+            finish ~transport:v.E.v_run.E.RT.r_transport ~n
+              ~rounds:v.E.v_run.E.RT.r_rounds
+              ~late:v.E.v_run.E.RT.r_late_frames
+              ~frame_bytes:v.E.v_run.E.RT.r_frame_bytes
+              ~wire:v.E.v_run.E.RT.r_wire
+              ~checks:
+                (List.map
+                   (fun c -> (c.E.c_name, c.E.c_ok, c.E.c_detail))
+                   v.E.v_checks)
+              ~events:v.E.v_run.E.RT.r_events
+              ~decisions:
+                (List.filter_map
+                   (fun (s : E.RT.node_summary) ->
+                     Option.map
+                       (fun acc ->
+                         Fmt.str "%a accepted %d pair(s)" Ubpa_util.Node_id.pp
+                           s.E.RT.ns_id (List.length acc))
+                       s.E.RT.ns_output)
+                   v.E.v_run.E.RT.r_nodes)
+              ~trace_out)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a protocol on the networked runtime (one concurrent process \
+          per node behind a transport) and check trace equivalence against \
+          the lockstep simulator")
+    Term.(
+      const run $ runtime_t $ protocol_t $ n_t $ seed_t $ round_ms_t
+      $ max_rounds_t $ trace_out_t)
 
 (* ----- chaos sweep ----- *)
 
@@ -806,7 +1036,7 @@ let () =
     "Byzantine agreement with unknown participants and failures (PODC 2020) \
      — simulation driver"
   in
-  let info = Cmd.info "ubpa" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "ubpa" ~version:Ubpa_util.Version.current ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
@@ -820,6 +1050,7 @@ let () =
             rename_cmd;
             trb_cmd;
             order_cmd;
+            run_cmd;
             trace_cmd;
             chaos_cmd;
             check_cmd;

@@ -1,0 +1,111 @@
+open Ubpa_util
+open Ubpa_sim
+
+module Make (P : Protocol.S) = struct
+  module RT = Ubpa_runtime.Runner.Make (P)
+  module H = Harness.Make (P)
+
+  type check = { c_name : string; c_ok : bool; c_detail : string }
+
+  type verdict = {
+    v_run : RT.run;
+    v_oracle : RT.Oracle.outcome;
+    v_sim : H.outcome;
+    v_checks : check list;
+    v_ok : bool;
+  }
+
+  let eq_assoc eq a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (ia, va) (ib, vb) -> Node_id.equal ia ib && eq va vb)
+         a b
+
+  let check name ok detail =
+    { c_name = name; c_ok = ok; c_detail = (if ok then "" else detail) }
+
+  let compare_with_sim ?(equal_output = Stdlib.( = )) ?transport ?round_ms
+      ?max_rounds ~correct () =
+    match RT.run ?transport ?round_ms ?max_rounds ~correct () with
+    | Error e -> Error e
+    | Ok run ->
+        let oracle = RT.replay run in
+        let sim_trace = Trace.create () in
+        let sim =
+          H.execute ~trace:sim_trace ?max_rounds ~correct ~byzantine:[] ()
+        in
+        let rt_outputs =
+          List.filter_map
+            (fun (n : RT.node_summary) ->
+              Option.map (fun o -> (n.RT.ns_id, o)) n.RT.ns_output)
+            run.RT.r_nodes
+        in
+        let rt_decides =
+          List.filter_map
+            (fun (n : RT.node_summary) ->
+              Option.map (fun r -> (n.RT.ns_id, r)) n.RT.ns_decide_round)
+            run.RT.r_nodes
+        in
+        let sim_decides =
+          List.filter_map
+            (fun (r : H.Net.node_report) ->
+              Option.map (fun d -> (r.H.Net.id, d)) r.H.Net.first_output_round)
+            sim.H.reports
+        in
+        let checks =
+          [
+            check "oracle-replay" oracle.RT.Oracle.ok
+              (match oracle.RT.Oracle.divergence with
+              | Some d -> Fmt.str "%a" RT.Oracle.pp_divergence d
+              | None -> "schedule replay diverged");
+            check "decisions"
+              (eq_assoc equal_output rt_outputs oracle.RT.Oracle.outputs
+              && eq_assoc equal_output rt_outputs sim.H.outputs)
+              (Fmt.str
+                 "runtime %d / oracle %d / sim %d deciding node(s) or values \
+                  differ"
+                 (List.length rt_outputs)
+                 (List.length oracle.RT.Oracle.outputs)
+                 (List.length sim.H.outputs));
+            check "decide-rounds"
+              (eq_assoc ( = ) rt_decides oracle.RT.Oracle.decide_rounds
+              && eq_assoc ( = ) rt_decides sim_decides)
+              "first-output rounds differ between runtime, oracle and sim";
+            check "rounds"
+              (run.RT.r_rounds = sim.H.rounds
+              && run.RT.r_rounds = oracle.RT.Oracle.rounds)
+              (Fmt.str "executed rounds differ: runtime %d, oracle %d, sim %d"
+                 run.RT.r_rounds oracle.RT.Oracle.rounds sim.H.rounds);
+            check "trace"
+              (Trace.equal_events run.RT.r_events (Trace.events sim_trace))
+              (let d =
+                 Trace.diff_events run.RT.r_events (Trace.events sim_trace)
+               in
+               match d.Trace.first_divergence with
+               | Some (i, _, _) ->
+                   Fmt.str "first trace divergence at event %d (%d vs %d events)"
+                     i d.Trace.length_a d.Trace.length_b
+               | None -> "trace streams differ");
+            check "wire"
+              (Ubpa_obs.Wire.equal run.RT.r_wire oracle.RT.Oracle.wire
+              && Ubpa_obs.Wire.equal run.RT.r_wire (H.Net.wire sim.H.net))
+              (Fmt.str
+                 "wire accounting differs: runtime %d msgs / %d bits, oracle \
+                  %d / %d, sim %d / %d"
+                 (Ubpa_obs.Wire.messages run.RT.r_wire)
+                 (Ubpa_obs.Wire.bits run.RT.r_wire)
+                 (Ubpa_obs.Wire.messages oracle.RT.Oracle.wire)
+                 (Ubpa_obs.Wire.bits oracle.RT.Oracle.wire)
+                 (Ubpa_obs.Wire.messages (H.Net.wire sim.H.net))
+                 (Ubpa_obs.Wire.bits (H.Net.wire sim.H.net)));
+          ]
+        in
+        Ok
+          {
+            v_run = run;
+            v_oracle = oracle;
+            v_sim = sim;
+            v_checks = checks;
+            v_ok = List.for_all (fun c -> c.c_ok) checks;
+          }
+end

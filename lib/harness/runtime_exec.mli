@@ -1,0 +1,52 @@
+(** Networked runtime vs lockstep simulator, as one verdict.
+
+    The runtime ({!Ubpa_runtime.Runner}) claims trace equivalence with
+    the simulator; this module is where the claim is checked. One call
+    runs the protocol three ways —
+
+    + over the wire (domains or socket transport),
+    + through the replay oracle on the recorded delivery schedule,
+    + as a fresh simulator run on the same population —
+
+    and compares decisions, decide rounds, trace events and wire
+    accounting across all three. The CLI ([ubpa run]), the differential
+    tests and the RT1 bench experiment all gate on the same {!Make.check}
+    list rather than re-deriving their own comparisons. *)
+
+open Ubpa_util
+open Ubpa_sim
+
+module Make (P : Protocol.S) : sig
+  module RT : module type of Ubpa_runtime.Runner.Make (P)
+  module H : module type of Harness.Make (P)
+
+  type check = {
+    c_name : string;
+        (** "oracle-replay", "decisions", "decide-rounds", "rounds",
+            "trace", "wire". *)
+    c_ok : bool;
+    c_detail : string;  (** Human-readable; "" when [c_ok]. *)
+  }
+
+  type verdict = {
+    v_run : RT.run;
+    v_oracle : RT.Oracle.outcome;
+    v_sim : H.outcome;
+    v_checks : check list;
+    v_ok : bool;  (** Every check passed. *)
+  }
+
+  val compare_with_sim :
+    ?equal_output:(P.output -> P.output -> bool) ->
+    ?transport:RT.transport ->
+    ?round_ms:float ->
+    ?max_rounds:int ->
+    correct:(Node_id.t * P.input) list ->
+    unit ->
+    (verdict, string) result
+  (** [Error] only when the networked run itself fails (runtime
+      unavailable, bad population, node crash); an inequivalence is a
+      failed check, not an error. [equal_output] defaults to structural
+      equality — right for the pure-data outputs scenario protocols
+      use. *)
+end

@@ -1,0 +1,75 @@
+type t = { src : Ubpa_util.Node_id.t; round : int; body : string }
+
+let header_bytes = 16 (* u32 len + i64 src + u32 round *)
+
+let encode { src; round; body } =
+  let len = String.length body in
+  let b = Bytes.create (header_bytes + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.set_int64_be b 4 (Int64.of_int (Ubpa_util.Node_id.to_int src));
+  Bytes.set_int32_be b 12 (Int32.of_int round);
+  Bytes.blit_string body 0 b header_bytes len;
+  Bytes.unsafe_to_string b
+
+let decode_at buf off =
+  let len = Int32.to_int (Bytes.get_int32_be buf off) in
+  if len < 0 then failwith "Frame.decode: negative length";
+  let src =
+    Ubpa_util.Node_id.of_int (Int64.to_int (Bytes.get_int64_be buf (off + 4)))
+  in
+  let round = Int32.to_int (Bytes.get_int32_be buf (off + 12)) in
+  if Bytes.length buf - off - header_bytes < len then
+    failwith "Frame.decode: truncated frame";
+  { src; round; body = Bytes.sub_string buf (off + header_bytes) len }
+
+let decode s =
+  let buf = Bytes.of_string s in
+  if Bytes.length buf < header_bytes then failwith "Frame.decode: short buffer";
+  let f = decode_at buf 0 in
+  if header_bytes + String.length f.body <> String.length s then
+    failwith "Frame.decode: trailing bytes";
+  f
+
+type decoder = { mutable buf : Bytes.t; mutable used : int }
+
+let decoder () = { buf = Bytes.create 4096; used = 0 }
+
+let ensure d extra =
+  let need = d.used + extra in
+  if need > Bytes.length d.buf then begin
+    let cap = ref (Bytes.length d.buf * 2) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let b = Bytes.create !cap in
+    Bytes.blit d.buf 0 b 0 d.used;
+    d.buf <- b
+  end
+
+let feed d src len =
+  ensure d len;
+  Bytes.blit src 0 d.buf d.used len;
+  d.used <- d.used + len;
+  let frames = ref [] in
+  let off = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if d.used - !off < header_bytes then continue := false
+    else
+      let body_len = Int32.to_int (Bytes.get_int32_be d.buf !off) in
+      if body_len < 0 then failwith "Frame.feed: negative length"
+      else if d.used - !off < header_bytes + body_len then continue := false
+      else begin
+        frames := decode_at d.buf !off :: !frames;
+        off := !off + header_bytes + body_len
+      end
+  done;
+  if !off > 0 then begin
+    Bytes.blit d.buf !off d.buf 0 (d.used - !off);
+    d.used <- d.used - !off
+  end;
+  List.rev !frames
+
+let pending_bytes d = d.used
+let marshal_message m = Marshal.to_string m []
+let unmarshal_message s = Marshal.from_string s 0

@@ -1,0 +1,53 @@
+(** Length-prefixed wire framing for the networked runtime.
+
+    One frame carries one protocol message from one sender for one round:
+
+    {v
+      [u32 BE body length][i64 BE sender id][u32 BE send round][body]
+    v}
+
+    The body is the protocol message serialized with [Marshal] — protocol
+    messages are pure structural data (the [Protocol.Structural] contract),
+    so marshalling round-trips them exactly. Semantic wire-size accounting
+    stays with [Protocol.encoded_bits] (the simulator's and oracle's
+    common currency); frame bytes are reported separately as transport
+    overhead. *)
+
+type t = {
+  src : Ubpa_util.Node_id.t;  (** Sender. *)
+  round : int;  (** Round the sender emitted this in (delivered at +1). *)
+  body : string;  (** Marshalled protocol message. *)
+}
+
+val encode : t -> string
+(** Header + body, ready to write to a stream or mailbox. *)
+
+val header_bytes : int
+(** Fixed per-frame overhead (16 bytes). *)
+
+val decode : string -> t
+(** Inverse of {!encode} on exactly one whole frame.
+    @raise Failure on a short or corrupt buffer. *)
+
+(** {2 Incremental decoding}
+
+    Stream transports read whatever the kernel gives them; the decoder
+    buffers partial data and yields each frame as soon as it is whole. *)
+
+type decoder
+
+val decoder : unit -> decoder
+
+val feed : decoder -> bytes -> int -> t list
+(** [feed d buf len] appends [buf[0..len)] and returns every frame
+    completed by it, in stream order. *)
+
+val pending_bytes : decoder -> int
+(** Buffered bytes not yet forming a whole frame (0 on clean EOF). *)
+
+val marshal_message : 'm -> string
+val unmarshal_message : string -> 'm
+(** Body (de)serialization used by both transports. The ['m] is
+    unavoidably untyped at this seam — [Runner.Make] only ever pairs
+    [marshal_message] and [unmarshal_message] at the same protocol
+    message type. *)

@@ -1,0 +1,308 @@
+open Ubpa_util
+open Ubpa_sim
+
+module Make (P : Protocol.S) = struct
+  module Oracle = Replay.Make (P)
+
+  type transport = [ `Domains | `Socket ]
+
+  let transport_name = function `Domains -> "domains" | `Socket -> "socket"
+
+  type node_summary = {
+    ns_id : Node_id.t;
+    ns_output : P.output option;
+    ns_decide_round : int option;
+    ns_halted_at : int option;
+  }
+
+  type run = {
+    r_transport : string;
+    r_rounds : int;
+    r_nodes : node_summary list;
+    r_schedule : Oracle.schedule;
+    r_events : Trace.event list;
+    r_wire : Ubpa_obs.Wire.t;
+    r_frames : int;
+    r_frame_bytes : int;
+    r_late_frames : int;
+  }
+
+  let available = Runtime_backend.available
+  let unavailable_reason = Runtime_backend.unavailable_reason
+
+  (* Per-node recording cell. Written only by the owning node's domain
+     while it runs; read only by the coordinator after Domain.join, which
+     provides the synchronization edge. *)
+  type slot = {
+    sl_id : Node_id.t;
+    sl_ix : int;
+    sl_input : P.input;
+    mutable sl_rounds : (int * Oracle.node_round) list; (* newest first *)
+    mutable sl_events : (int * Trace.event list) list; (* newest first *)
+    mutable sl_first_output : int option;
+    mutable sl_last_output : P.output option;
+    mutable sl_halted_at : int option;
+    mutable sl_frame_bytes : int;
+    mutable sl_frames : int;
+    mutable sl_late : int;
+    mutable sl_error : string option;
+  }
+
+  (* Rebuild the delivery contract from raw received frames: drop
+     duplicate (sender, payload) pairs keeping the first (per-sender
+     arrival order is send order on every transport), then stable-sort by
+     sender id — exactly what Delivery.route produces per recipient. *)
+  let assemble_inbox frames =
+    let kept = ref [] in
+    List.iter
+      (fun (src, payload) ->
+        let dup =
+          List.exists
+            (fun (s, p) -> Node_id.equal s src && P.equal_message p payload)
+            !kept
+        in
+        if not dup then kept := (src, payload) :: !kept)
+      frames;
+    List.stable_sort
+      (fun (a, _) (b, _) -> Node_id.compare a b)
+      (List.rev !kept)
+
+  let node_loop (type hub endpoint)
+      (module T : Transport.S with type hub = hub and type endpoint = endpoint)
+      ~(slot : slot) ~(ids : Node_id.t array) ~(halted : bool array)
+      ~(sync : Sync.t) ~(ep : endpoint) ~max_rounds =
+    let self = slot.sl_id in
+    let state = ref (P.init ~self ~round:1 slot.sl_input) in
+    let inbox = ref [] in
+    let r = ref 1 in
+    let running = ref true in
+    while !running do
+      let started = Sync.round_start sync in
+      (* halted.(_) reads are confined to [barrier A, barrier B); writes to
+         [barrier B, next barrier A) — the barriers' mutexes order them. *)
+      let any_live = Array.exists (fun h -> not h) halted in
+      if (not any_live) || !r > max_rounds then
+        (* Identical state + identical round number: every node takes this
+           branch together, so nobody is left waiting at barrier B. *)
+        running := false
+      else begin
+        let live_self = not halted.(slot.sl_ix) in
+        let pending_halt = ref false in
+        if live_self then begin
+          let events = ref [] in
+          let ev kind what =
+            events :=
+              { Trace.round = !r; node = Some self; kind; what } :: !events
+          in
+          match P.step ~self ~round:!r ~stim:[] !state ~inbox:!inbox with
+          | exception e ->
+              slot.sl_error <-
+                Some
+                  (Printf.sprintf "node %d raised at round %d: %s"
+                     (Node_id.to_int self) !r (Printexc.to_string e));
+              slot.sl_halted_at <- Some !r;
+              pending_halt := true
+          | st, sends, status ->
+              state := st;
+              slot.sl_rounds <-
+                (!r, { Oracle.nr_inbox = !inbox; nr_sends = sends })
+                :: slot.sl_rounds;
+              List.iter
+                (fun (dst, payload) ->
+                  let env = { Envelope.src = self; dst; payload } in
+                  ev Trace.Send
+                    (Fmt.str "send %a" (Envelope.pp P.pp_message) env);
+                  let frame =
+                    {
+                      Frame.src = self;
+                      round = !r;
+                      body = Frame.marshal_message payload;
+                    }
+                  in
+                  match dst with
+                  | Envelope.To id -> T.send ep ~dst:id frame
+                  | Envelope.Broadcast ->
+                      (* Every node gets the frame, the sender and even
+                         halted ones included: receivers that the model says
+                         are absent next round drop it on drain, mirroring
+                         present-set routing. *)
+                      Array.iter (fun id -> T.send ep ~dst:id frame) ids)
+                sends;
+              (match status with
+              | Protocol.Continue -> ()
+              | Protocol.Deliver out ->
+                  if slot.sl_first_output = None then
+                    slot.sl_first_output <- Some !r;
+                  slot.sl_last_output <- Some out;
+                  ev Trace.Output "output"
+              | Protocol.Stop out ->
+                  if slot.sl_first_output = None then
+                    slot.sl_first_output <- Some !r;
+                  slot.sl_last_output <- Some out;
+                  slot.sl_halted_at <- Some !r;
+                  pending_halt := true;
+                  ev Trace.Halt "halt");
+              slot.sl_events <- (!r, List.rev !events) :: slot.sl_events
+        end;
+        Sync.sends_done sync ~started;
+        if !pending_halt then halted.(slot.sl_ix) <- true;
+        let frames = T.drain ep in
+        List.iter
+          (fun (f : Frame.t) ->
+            slot.sl_frames <- slot.sl_frames + 1;
+            slot.sl_frame_bytes <-
+              slot.sl_frame_bytes + Frame.header_bytes + String.length f.body)
+          frames;
+        if live_self && not !pending_halt then begin
+          let on_time, late =
+            List.partition (fun (f : Frame.t) -> f.Frame.round = !r) frames
+          in
+          slot.sl_late <- slot.sl_late + List.length late;
+          inbox :=
+            assemble_inbox
+              (List.map
+                 (fun (f : Frame.t) ->
+                   (f.Frame.src, (Frame.unmarshal_message f.body : P.message)))
+                 on_time)
+        end
+        else inbox := [];
+        incr r
+      end
+    done
+
+  let exec (module T : Transport.S) ~round_ms ~max_rounds
+      ~(correct : (Node_id.t * P.input) list) =
+    let slots =
+      List.sort (fun (a, _) (b, _) -> Node_id.compare a b) correct
+      |> List.mapi (fun i (id, input) ->
+             {
+               sl_id = id;
+               sl_ix = i;
+               sl_input = input;
+               sl_rounds = [];
+               sl_events = [];
+               sl_first_output = None;
+               sl_last_output = None;
+               sl_halted_at = None;
+               sl_frame_bytes = 0;
+               sl_frames = 0;
+               sl_late = 0;
+               sl_error = None;
+             })
+    in
+    let ids = Array.of_list (List.map (fun s -> s.sl_id) slots) in
+    let n = Array.length ids in
+    let halted = Array.make n false in
+    let hub = T.create ~ids:(Array.to_list ids) in
+    let sync = Sync.create ~parties:n ~round_ms in
+    let handles =
+      List.map
+        (fun slot ->
+          let ep = T.endpoint hub ~self:slot.sl_id in
+          Runtime_backend.spawn (fun () ->
+              node_loop (module T) ~slot ~ids ~halted ~sync ~ep ~max_rounds))
+        slots
+    in
+    List.iter Runtime_backend.join handles;
+    T.close hub;
+    match List.find_map (fun s -> s.sl_error) slots with
+    | Some err -> Error err
+    | None ->
+        let rounds =
+          List.fold_left
+            (fun acc s ->
+              match s.sl_rounds with (r, _) :: _ -> max acc r | [] -> acc)
+            0 slots
+        in
+        let sc_rounds =
+          List.init rounds (fun i ->
+              let round = i + 1 in
+              List.fold_left
+                (fun acc s ->
+                  match List.assoc_opt round s.sl_rounds with
+                  | Some nr -> Node_id.Map.add s.sl_id nr acc
+                  | None -> acc)
+                Node_id.Map.empty slots)
+        in
+        let schedule = { Oracle.sc_nodes = correct; sc_rounds = sc_rounds } in
+        (* Wire accounting at the runtime's accept points: every message a
+           live node kept post-dedup, attributed to its delivery round —
+           the same currency as the simulator's and the oracle's. *)
+        let wire = Ubpa_obs.Wire.create () in
+        List.iteri
+          (fun i recorded ->
+            let round = i + 1 in
+            Node_id.Map.iter
+              (fun id (nr : Oracle.node_round) ->
+                List.iter
+                  (fun (_src, payload) ->
+                    Ubpa_obs.Wire.record wire ~round ~recipient:id ~kind:"msg"
+                      ~bits:(P.encoded_bits payload))
+                  nr.Oracle.nr_inbox)
+              recorded)
+          sc_rounds;
+        let joins =
+          List.map
+            (fun (id, _) ->
+              {
+                Trace.round = 1;
+                node = Some id;
+                kind = Trace.Join;
+                what = "join (correct)";
+              })
+            correct
+        in
+        let events =
+          joins
+          @ List.concat_map
+              (fun i ->
+                let round = i + 1 in
+                List.concat_map
+                  (fun s ->
+                    Option.value ~default:[]
+                      (List.assoc_opt round s.sl_events))
+                  slots)
+              (List.init rounds Fun.id)
+        in
+        Ok
+          {
+            r_transport = T.name;
+            r_rounds = rounds;
+            r_nodes =
+              List.map
+                (fun s ->
+                  {
+                    ns_id = s.sl_id;
+                    ns_output = s.sl_last_output;
+                    ns_decide_round = s.sl_first_output;
+                    ns_halted_at = s.sl_halted_at;
+                  })
+                slots;
+            r_schedule = schedule;
+            r_events = events;
+            r_wire = wire;
+            r_frames = List.fold_left (fun acc s -> acc + s.sl_frames) 0 slots;
+            r_frame_bytes =
+              List.fold_left (fun acc s -> acc + s.sl_frame_bytes) 0 slots;
+            r_late_frames = List.fold_left (fun acc s -> acc + s.sl_late) 0 slots;
+          }
+
+  let run ?(transport = `Domains) ?(round_ms = 0.) ?(max_rounds = 64) ~correct
+      () =
+    if not available then Error unavailable_reason
+    else if correct = [] then Error "Runner.run: no nodes"
+    else if
+      List.length (Node_id.sorted (List.map fst correct))
+      <> List.length correct
+    then Error "Runner.run: duplicate node identifiers"
+    else if max_rounds < 1 then Error "Runner.run: max_rounds must be >= 1"
+    else
+      let m : (module Transport.S) =
+        match transport with
+        | `Domains -> (module Transport_domains)
+        | `Socket -> (module Transport_socket)
+      in
+      exec m ~round_ms ~max_rounds ~correct
+
+  let replay r = Oracle.replay r.r_schedule
+end

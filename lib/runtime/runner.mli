@@ -1,0 +1,88 @@
+(** The networked runtime: one concurrent process per node.
+
+    [Make (P)] runs an {e unchanged} [Protocol.S] instance per node, each
+    on its own OCaml 5 domain, exchanging messages through a
+    {!Transport.S} backend. A wall-clock round synchronizer (two barriers
+    per round, optional round duration) keeps the processes aligned with
+    the synchronous model: messages sent in round [r] are drained after
+    the send barrier and consumed in round [r + 1], with per-round
+    (sender, payload) dedup and sender-sorted inboxes — the simulator's
+    delivery contract, rebuilt at the receiving edge.
+
+    Every run records its full delivery schedule (per node per round: the
+    inbox consumed and the sends emitted) so the lockstep simulator can
+    replay it as an equivalence oracle ({!Make.Oracle},
+    {!Ubpa_sim.Replay}), plus the trace events of a simulator run in the
+    simulator's exact vocabulary and emission order, wire counters, and
+    transport-level accounting (frame bytes, late frames).
+
+    On OCaml 4.14 builds the backend is the sequential stub and
+    {!Make.run} returns [Error "runtime unavailable: ..."] without
+    touching any concurrency primitive. *)
+
+open Ubpa_util
+open Ubpa_sim
+
+module Make (P : Protocol.S) : sig
+  module Oracle : module type of Replay.Make (P)
+  (** The replay oracle at this protocol — exposed so callers share one
+      functor application's types with {!run}'s recorded schedule. *)
+
+  type transport = [ `Domains | `Socket ]
+
+  val transport_name : transport -> string
+
+  type node_summary = {
+    ns_id : Node_id.t;
+    ns_output : P.output option;  (** Latest output, if any. *)
+    ns_decide_round : int option;  (** First output round. *)
+    ns_halted_at : int option;
+  }
+
+  type run = {
+    r_transport : string;
+    r_rounds : int;  (** Rounds actually executed. *)
+    r_nodes : node_summary list;  (** Ascending id. *)
+    r_schedule : Oracle.schedule;  (** What the wire actually did. *)
+    r_events : Trace.event list;
+        (** Joins, sends, outputs, halts in the simulator's exact
+            vocabulary and order — comparable with a sim run's
+            [Trace.events] via {!Trace.equal_events}. *)
+    r_wire : Ubpa_obs.Wire.t;
+        (** Accept-point accounting over the runtime's own deliveries. *)
+    r_frames : int;
+        (** Frames received across all nodes, pre-dedup (broadcast
+            fan-out counts once per recipient) — deterministic, unlike
+            byte counts which depend on the marshaller. *)
+    r_frame_bytes : int;
+        (** Transport-level bytes received across all nodes (headers
+            included) — overhead, kept separate from semantic bits. *)
+    r_late_frames : int;
+        (** Frames drained outside their delivery round. Always 0 under
+            barrier synchronization; the counter exists to prove it. *)
+  }
+
+  val available : bool
+  (** False on sequential-only (4.14) builds; {!run} then fails
+      gracefully. *)
+
+  val unavailable_reason : string
+
+  val run :
+    ?transport:transport ->
+    ?round_ms:float ->
+    ?max_rounds:int ->
+    correct:(Node_id.t * P.input) list ->
+    unit ->
+    (run, string) result
+  (** [run ~correct ()] spawns one process per node, all joining at round
+      1, and drives rounds until every node halted or [max_rounds]
+      (default 64) executed. [round_ms] (default 0) stretches each round
+      to a wall-clock duration. Defaults to the [`Domains] transport.
+      Errors: runtime unavailable, empty/duplicate node list, or a node
+      process raising (the run still shuts down cleanly). *)
+
+  val replay : run -> Oracle.outcome
+  (** Feed the recorded schedule through the simulator's indexed delivery
+      core — the oracle verdict callers gate on. *)
+end

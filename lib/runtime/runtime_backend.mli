@@ -1,0 +1,50 @@
+(** Concurrency backend for the networked runtime, chosen at build time by
+    dune's [(select)] — the same pattern as {!Ubpa_harness.Pool}'s
+    executor: on OCaml 5 (detected via the [runtime_events] library, which
+    only exists there) nodes run on real domains with Mutex/Condition
+    mailboxes and barriers; on 4.14 a stub keeps the interface so the rest
+    of the runtime compiles, and every operation raises
+    [Failure "runtime unavailable: ..."]. Callers must check {!available}
+    first — {!Ubpa_runtime.Runner.run} turns it into a graceful [Error]. *)
+
+val available : bool
+(** Whether this build can actually run per-node concurrent processes. *)
+
+val unavailable_reason : string
+(** The message surfaced when [available = false] (mentions the OCaml 5
+    requirement); empty on the concurrent backend. *)
+
+(** {2 Node processes} *)
+
+type handle
+
+val spawn : (unit -> unit) -> handle
+(** Start one node process (an OCaml 5 domain). *)
+
+val join : handle -> unit
+(** Wait for the node to finish; re-raises its uncaught exception. *)
+
+(** {2 Cyclic barrier}
+
+    All [parties] must call {!await} before any of them returns; the
+    barrier then resets for the next phase. The Mutex/Condition inside
+    gives the happens-before edge the runtime relies on: anything a node
+    writes before {!await} is visible to every node after it returns. *)
+
+type barrier
+
+val barrier : parties:int -> barrier
+val await : barrier -> unit
+
+(** {2 Mailboxes}
+
+    One per node: any node may {!push} an encoded frame, only the owner
+    {!drain}s. FIFO per producer. *)
+
+type mailbox
+
+val mailbox : unit -> mailbox
+val push : mailbox -> string -> unit
+
+val drain : mailbox -> string list
+(** Everything currently queued, in arrival order; empties the mailbox. *)

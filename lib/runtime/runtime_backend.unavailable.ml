@@ -1,0 +1,27 @@
+(* OCaml 4.14 stub: the networked runtime needs domains. Keeps the
+   interface so [Ubpa_runtime] compiles everywhere; every operation
+   raises, and Runner.run checks [available] to fail gracefully first. *)
+
+let available = false
+
+let unavailable_reason =
+  "runtime unavailable: the networked runtime needs OCaml 5 domains \
+   (this build is sequential-only)"
+
+let unavailable () = failwith unavailable_reason
+
+type handle = unit
+
+let spawn (_ : unit -> unit) : handle = unavailable ()
+let join (_ : handle) = unavailable ()
+
+type barrier = unit
+
+let barrier ~parties:(_ : int) : barrier = unavailable ()
+let await (_ : barrier) = unavailable ()
+
+type mailbox = unit
+
+let mailbox () : mailbox = unavailable ()
+let push (_ : mailbox) (_ : string) = unavailable ()
+let drain (_ : mailbox) : string list = unavailable ()

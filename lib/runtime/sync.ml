@@ -1,0 +1,32 @@
+type t = {
+  s_a : Runtime_backend.barrier;
+  s_b : Runtime_backend.barrier;
+  s_round_ms : float;
+}
+
+let create ~parties ~round_ms =
+  {
+    s_a = Runtime_backend.barrier ~parties;
+    s_b = Runtime_backend.barrier ~parties;
+    s_round_ms = round_ms;
+  }
+
+(* Wall-clock pacing reads the real clock directly: Clock.now_ms has
+   process-global clamp state that node domains must not share. *)
+let round_start t =
+  Runtime_backend.await t.s_a;
+  Unix.gettimeofday ()
+
+let sends_done t ~started =
+  Runtime_backend.await t.s_b;
+  if t.s_round_ms > 0. then begin
+    let deadline = started +. (t.s_round_ms /. 1000.) in
+    let rec sleep () =
+      let left = deadline -. Unix.gettimeofday () in
+      if left > 0. then begin
+        (try Unix.sleepf left with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        sleep ()
+      end
+    in
+    sleep ()
+  end

@@ -1,0 +1,22 @@
+(** Wall-clock round synchronizer.
+
+    Two cyclic barriers per round keep every node process in lockstep
+    with the synchronous model: barrier A opens the round (all nodes
+    agree on who is still live before anyone steps), barrier B closes
+    the send phase (every frame for this round is in flight before
+    anyone drains). With [round_ms > 0] each node additionally sleeps
+    out the remainder of the configured round duration after barrier B,
+    giving rounds a real wall-clock length; [round_ms = 0] runs flat
+    out. *)
+
+type t
+
+val create : parties:int -> round_ms:float -> t
+
+val round_start : t -> float
+(** Block until all parties arrive; returns this node's round start
+    time (for {!sends_done}'s pacing). *)
+
+val sends_done : t -> started:float -> unit
+(** Block until all parties finished sending, then sleep until
+    [round_ms] has elapsed since [started]. *)

@@ -1,0 +1,12 @@
+module type S = sig
+  val name : string
+
+  type hub
+  type endpoint
+
+  val create : ids:Ubpa_util.Node_id.t list -> hub
+  val endpoint : hub -> self:Ubpa_util.Node_id.t -> endpoint
+  val send : endpoint -> dst:Ubpa_util.Node_id.t -> Frame.t -> unit
+  val drain : endpoint -> Frame.t list
+  val close : hub -> unit
+end

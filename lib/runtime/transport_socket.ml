@@ -1,0 +1,111 @@
+(* Unix-domain-socket transport: a full mesh of anonymous socketpairs
+   (one per unordered node pair, including the self pair, so broadcast
+   to self crosses a real kernel buffer too). Each file descriptor has
+   exactly one writing node and one reading node, so no locking is
+   needed; receive sides are non-blocking and feed a per-peer
+   incremental {!Frame.decoder}, because the kernel is free to hand back
+   partial frames. Writes block if a socket buffer fills — fine at the
+   small n the runtime targets (the harness pool is the scale story). *)
+
+open Ubpa_util
+
+type peer = {
+  p_id : Node_id.t;
+  p_send : Unix.file_descr;
+  p_recv : Unix.file_descr;
+  p_dec : Frame.decoder;
+}
+
+type endpoint = { e_self : Node_id.t; e_peers : peer list (* ascending id *) }
+
+type hub = {
+  h_eps : (Node_id.t * endpoint) list;
+  h_fds : Unix.file_descr list;
+  mutable h_closed : bool;
+}
+
+let name = "socket"
+
+let create ~ids =
+  let ids = Node_id.sorted ids in
+  let fds = ref [] in
+  let pair () =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    fds := a :: b :: !fds;
+    (a, b)
+  in
+  let peers_of = Hashtbl.create 16 in
+  let add id peer =
+    Unix.set_nonblock peer.p_recv;
+    let prior = Option.value ~default:[] (Hashtbl.find_opt peers_of id) in
+    Hashtbl.replace peers_of id (peer :: prior)
+  in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if j > i then begin
+            let fa, fb = pair () in
+            add a { p_id = b; p_send = fa; p_recv = fa; p_dec = Frame.decoder () };
+            add b { p_id = a; p_send = fb; p_recv = fb; p_dec = Frame.decoder () }
+          end
+          else if j = i then begin
+            let fa, fb = pair () in
+            add a { p_id = a; p_send = fa; p_recv = fb; p_dec = Frame.decoder () }
+          end)
+        ids)
+    ids;
+  let eps =
+    List.map
+      (fun id ->
+        let peers =
+          Hashtbl.find peers_of id
+          |> List.sort (fun a b -> Node_id.compare a.p_id b.p_id)
+        in
+        (id, { e_self = id; e_peers = peers }))
+      ids
+  in
+  { h_eps = eps; h_fds = !fds; h_closed = false }
+
+let endpoint hub ~self =
+  match List.find_opt (fun (i, _) -> Node_id.equal i self) hub.h_eps with
+  | Some (_, ep) -> ep
+  | None -> invalid_arg "Transport_socket.endpoint: unknown node"
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+let send ep ~dst frame =
+  match List.find_opt (fun p -> Node_id.equal p.p_id dst) ep.e_peers with
+  | None -> () (* unknown destination: dropped at the edge, like the sim *)
+  | Some p ->
+      let s = Frame.encode frame in
+      write_all p.p_send s 0 (String.length s)
+
+let drain_peer p =
+  let buf = Bytes.create 4096 in
+  let frames = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Unix.read p.p_recv buf 0 (Bytes.length buf) with
+    | 0 -> continue := false
+    | n -> frames := !frames @ Frame.feed p.p_dec buf n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  !frames
+
+let drain ep = List.concat_map drain_peer ep.e_peers
+
+let close hub =
+  if not hub.h_closed then begin
+    hub.h_closed <- true;
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) hub.h_fds
+  end

@@ -63,6 +63,67 @@ let recordf t ~round ?node ?kind fmt =
 let enabled t = t.enabled
 let events t = List.rev t.events
 let find t ~f = List.find_opt f (events t)
+
+let of_events evs =
+  let t = create () in
+  List.iter (fun e -> record t ~round:e.round ?node:e.node ~kind:e.kind e.what) evs;
+  t
+
+let equal_event a b =
+  a.round = b.round
+  && Option.equal Node_id.equal a.node b.node
+  && a.kind = b.kind
+  && String.equal a.what b.what
+
+type diff = {
+  first_divergence : (int * event option * event option) option;
+  kind_counts : (string * int * int) list;
+  length_a : int;
+  length_b : int;
+}
+
+let diff_events a b =
+  let counts evs =
+    let h = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let k = kind_to_string e.kind in
+        Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k)))
+      evs;
+    h
+  in
+  let ca = counts a and cb = counts b in
+  let kinds =
+    List.filter
+      (fun k -> Hashtbl.mem ca k || Hashtbl.mem cb k)
+      (List.map kind_to_string
+         [ Join; Leave; Send; Byz_send; Output; Halt; Fault; Engine ])
+  in
+  let kind_counts =
+    List.map
+      (fun k ->
+        ( k,
+          Option.value ~default:0 (Hashtbl.find_opt ca k),
+          Option.value ~default:0 (Hashtbl.find_opt cb k) ))
+      kinds
+  in
+  let rec first ix a b =
+    match (a, b) with
+    | [], [] -> None
+    | ea :: _, [] -> Some (ix, Some ea, None)
+    | [], eb :: _ -> Some (ix, None, Some eb)
+    | ea :: ra, eb :: rb ->
+        if equal_event ea eb then first (ix + 1) ra rb
+        else Some (ix, Some ea, Some eb)
+  in
+  {
+    first_divergence = first 0 a b;
+    kind_counts;
+    length_a = List.length a;
+    length_b = List.length b;
+  }
+
+let equal_events a b = (diff_events a b).first_divergence = None
 let pp ppf t = Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.cut pp_event) (events t)
 
 let event_to_json e : Json.t =

@@ -62,6 +62,36 @@ val events : t -> event list
 val find : t -> f:(event -> bool) -> event option
 val pp : Format.formatter -> t -> unit
 
+val of_events : event list -> t
+(** A fresh enabled trace holding exactly [events], in order — how offline
+    tooling (the networked runtime, [ubpa trace --diff]) materializes a
+    trace it assembled event by event. *)
+
+(** {2 Comparison}
+
+    The networked runtime claims {e trace equivalence} with the lockstep
+    simulator; these helpers are the comparison primitive behind that
+    claim and behind [ubpa trace --diff]. *)
+
+val equal_event : event -> event -> bool
+(** All four fields equal. *)
+
+val equal_events : event list -> event list -> bool
+
+type diff = {
+  first_divergence : (int * event option * event option) option;
+      (** [(index, a, b)] of the first position where the streams differ;
+          [None] on one side means that stream ended first. [None] overall
+          means the streams are identical. *)
+  kind_counts : (string * int * int) list;
+      (** Per-kind event counts [(kind, count_a, count_b)] for every kind
+          present in either stream, in declaration order. *)
+  length_a : int;
+  length_b : int;
+}
+
+val diff_events : event list -> event list -> diff
+
 (** {2 Serialization} *)
 
 val event_to_json : event -> Json.t

@@ -1,0 +1,8 @@
+(** The package version.
+
+    [current] is generated at build time from [dune-project]'s
+    [(version ...)] stanza — the single source of truth the CLI's
+    [--version], release tags, and any tooling all report, so bumping the
+    stanza is the whole release-versioning story. *)
+
+val current : string

@@ -1,0 +1,339 @@
+(* The networked runtime against the lockstep simulator: frame codec
+   units, trace diffing, and PR-6-style differentials — the same
+   protocol on concurrent per-node processes must produce byte-identical
+   decide sets, trace events, wire counters and monitor verdicts as the
+   simulator, with the replay oracle catching any tampered schedule. On
+   sequential-only builds the differentials collapse to asserting the
+   graceful "runtime unavailable" error path. *)
+
+open Ubpa_util
+open Ubpa_sim
+open Helpers
+
+module Frame = Ubpa_runtime.Frame
+
+(* ----- frame codec ----- *)
+
+let frame ?(src = 3) ?(round = 2) body =
+  { Frame.src = Node_id.of_int src; round; body }
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun body ->
+      let f = frame body in
+      let d = Frame.decode (Frame.encode f) in
+      check_true "src" (Node_id.equal d.Frame.src f.Frame.src);
+      check_int "round" f.Frame.round d.Frame.round;
+      Alcotest.(check string) "body" f.Frame.body d.Frame.body)
+    [ ""; "x"; String.make 5000 'q'; "\x00\xff\x01binary" ]
+
+let test_frame_decoder_incremental () =
+  (* Three frames through the stream decoder one byte at a time: each
+     frame must complete exactly once, in order, with nothing left over. *)
+  let fs = [ frame "alpha"; frame ~src:9 ~round:7 ""; frame "omega" ] in
+  let stream = String.concat "" (List.map Frame.encode fs) in
+  let d = Frame.decoder () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      got := !got @ Frame.feed d (Bytes.make 1 c) 1)
+    stream;
+  check_int "frames" (List.length fs) (List.length !got);
+  check_int "no leftover" 0 (Frame.pending_bytes d);
+  List.iter2
+    (fun (a : Frame.t) (b : Frame.t) ->
+      check_true "src" (Node_id.equal a.Frame.src b.Frame.src);
+      check_int "round" a.Frame.round b.Frame.round;
+      Alcotest.(check string) "body" a.Frame.body b.Frame.body)
+    fs !got
+
+let test_frame_decoder_batch () =
+  let fs = List.init 10 (fun i -> frame ~src:i ~round:i (String.make i 'b')) in
+  let stream = Bytes.of_string (String.concat "" (List.map Frame.encode fs)) in
+  let d = Frame.decoder () in
+  let got = Frame.feed d stream (Bytes.length stream) in
+  check_int "all frames in one feed" 10 (List.length got);
+  check_int "no leftover" 0 (Frame.pending_bytes d)
+
+let test_frame_partial_pending () =
+  let f = frame "partial" in
+  let enc = Frame.encode f in
+  let cut = String.length enc - 3 in
+  let d = Frame.decoder () in
+  let got = Frame.feed d (Bytes.of_string (String.sub enc 0 cut)) cut in
+  check_int "incomplete frame yields nothing" 0 (List.length got);
+  check_int "bytes buffered" cut (Frame.pending_bytes d)
+
+(* ----- trace diff ----- *)
+
+let ev ?node ~round kind what =
+  { Trace.round; node = Option.map Node_id.of_int node; kind; what }
+
+let test_trace_diff_identical () =
+  let evs =
+    [
+      ev ~round:1 ~node:1 Trace.Join "join (correct)";
+      ev ~round:1 ~node:1 Trace.Send "send x";
+      ev ~round:2 ~node:1 Trace.Halt "halt";
+    ]
+  in
+  check_true "equal" (Trace.equal_events evs evs);
+  let d = Trace.diff_events evs evs in
+  check_true "no divergence" (d.Trace.first_divergence = None);
+  check_int "len a" 3 d.Trace.length_a;
+  check_int "len b" 3 d.Trace.length_b
+
+let test_trace_diff_divergence () =
+  let a =
+    [
+      ev ~round:1 ~node:1 Trace.Join "join (correct)";
+      ev ~round:1 ~node:1 Trace.Send "send x";
+    ]
+  in
+  let b =
+    [
+      ev ~round:1 ~node:1 Trace.Join "join (correct)";
+      ev ~round:1 ~node:1 Trace.Send "send y";
+    ]
+  in
+  check_false "not equal" (Trace.equal_events a b);
+  match (Trace.diff_events a b).Trace.first_divergence with
+  | Some (1, Some ea, Some eb) ->
+      Alcotest.(check string) "a side" "send x" ea.Trace.what;
+      Alcotest.(check string) "b side" "send y" eb.Trace.what
+  | _ -> Alcotest.fail "expected divergence at index 1 with both events"
+
+let test_trace_diff_prefix () =
+  let a = [ ev ~round:1 ~node:1 Trace.Join "join (correct)" ] in
+  let b = a @ [ ev ~round:1 ~node:1 Trace.Halt "halt" ] in
+  (match (Trace.diff_events a b).Trace.first_divergence with
+  | Some (1, None, Some e) ->
+      Alcotest.(check string) "b continues" "halt" e.Trace.what
+  | _ -> Alcotest.fail "expected one-sided divergence at index 1");
+  let d = Trace.diff_events a b in
+  let halt_counts =
+    List.filter (fun (k, _, _) -> String.equal k "halt") d.Trace.kind_counts
+  in
+  match halt_counts with
+  | [ (_, 0, 1) ] -> ()
+  | _ -> Alcotest.fail "expected halt kind count 0 vs 1"
+
+let test_trace_of_events_roundtrip () =
+  let evs =
+    [
+      ev ~round:1 ~node:4 Trace.Join "join (correct)";
+      ev ~round:3 Trace.Engine "engine note";
+    ]
+  in
+  check_true "of_events preserves"
+    (Trace.equal_events evs (Trace.events (Trace.of_events evs)))
+
+(* ----- runtime vs simulator differentials ----- *)
+
+module Ec = Ubpa_harness.Runtime_exec.Make (Ubpa_scenarios.Scenarios.Consensus_int.P)
+module Er = Ubpa_harness.Runtime_exec.Make (Ubpa_scenarios.Scenarios.Rb.P)
+
+let consensus_correct ~seed n =
+  let ids = Ubpa_harness.Harness.make_ids ~seed n in
+  List.mapi (fun i id -> (id, i mod 2)) ids
+
+let rb_correct ~seed n =
+  let ids = Ubpa_harness.Harness.make_ids ~seed n in
+  List.mapi (fun i id -> (id, if i = 0 then Some "payload" else None)) ids
+
+let assert_verdict name = function
+  | Error e -> Alcotest.failf "%s: runtime error: %s" name e
+  | Ok v ->
+      List.iter
+        (fun c ->
+          check_true
+            (Printf.sprintf "%s: %s%s" name c.Ec.c_name
+               (if c.Ec.c_ok then "" else " — " ^ c.Ec.c_detail))
+            c.Ec.c_ok)
+        v.Ec.v_checks
+
+let assert_verdict_rb name = function
+  | Error e -> Alcotest.failf "%s: runtime error: %s" name e
+  | Ok v ->
+      List.iter
+        (fun c ->
+          check_true
+            (Printf.sprintf "%s: %s%s" name c.Er.c_name
+               (if c.Er.c_ok then "" else " — " ^ c.Er.c_detail))
+            c.Er.c_ok)
+        v.Er.v_checks
+
+let test_unavailable_graceful () =
+  if not Ec.RT.available then
+    match Ec.RT.run ~correct:(consensus_correct ~seed:1L 4) () with
+    | Ok _ -> Alcotest.fail "sequential build must not run the runtime"
+    | Error e ->
+        check_true "mentions runtime unavailable"
+          (String.length e >= 19
+          && String.equal (String.sub e 0 19) "runtime unavailable")
+
+let test_consensus_domains_differential () =
+  if Ec.RT.available then
+    List.iter
+      (fun (seed, n) ->
+        assert_verdict
+          (Printf.sprintf "consensus domains seed=%Ld n=%d" seed n)
+          (Ec.compare_with_sim ~transport:`Domains ~max_rounds:40
+             ~correct:(consensus_correct ~seed n) ()))
+      [ (1L, 4); (2L, 5); (7L, 7) ]
+
+let test_consensus_socket_differential () =
+  if Ec.RT.available then
+    assert_verdict "consensus socket seed=1 n=5"
+      (Ec.compare_with_sim ~transport:`Socket ~max_rounds:40
+         ~correct:(consensus_correct ~seed:1L 5) ())
+
+let test_rb_differential () =
+  (* RB never halts: both runs execute exactly max_rounds and must agree
+     on the cumulative accepted sets. *)
+  if Er.RT.available then
+    List.iter
+      (fun transport ->
+        assert_verdict_rb
+          (Printf.sprintf "rb %s" (Er.RT.transport_name transport))
+          (Er.compare_with_sim ~transport ~max_rounds:6
+             ~correct:(rb_correct ~seed:3L 5) ()))
+      [ `Domains; `Socket ]
+
+let test_round_ms_pacing () =
+  (* A non-zero round duration must not change behaviour, only pace it. *)
+  if Ec.RT.available then
+    assert_verdict "consensus domains round-ms=2"
+      (Ec.compare_with_sim ~transport:`Domains ~round_ms:2. ~max_rounds:40
+         ~correct:(consensus_correct ~seed:1L 4) ())
+
+let test_decides_byte_identical () =
+  (* The decide sets, rendered, must match byte for byte — the sharpest
+     form of the decision-equivalence claim. *)
+  if Ec.RT.available then
+    match
+      Ec.compare_with_sim ~transport:`Domains ~max_rounds:40
+        ~correct:(consensus_correct ~seed:5L 5) ()
+    with
+    | Error e -> Alcotest.failf "runtime error: %s" e
+    | Ok v ->
+        let render outs =
+          String.concat ";"
+            (List.map
+               (fun (id, o) -> Fmt.str "%a=%d" Node_id.pp id o)
+               outs)
+        in
+        let rt =
+          List.filter_map
+            (fun (s : Ec.RT.node_summary) ->
+              Option.map (fun o -> (s.Ec.RT.ns_id, o)) s.Ec.RT.ns_output)
+            v.Ec.v_run.Ec.RT.r_nodes
+        in
+        Alcotest.(check string)
+          "decide sets byte-identical" (render v.Ec.v_sim.Ec.H.outputs)
+          (render rt);
+        Alcotest.(check string)
+          "oracle decide set too"
+          (render v.Ec.v_sim.Ec.H.outputs)
+          (render v.Ec.v_oracle.Ec.RT.Oracle.outputs)
+
+let test_monitor_verdicts_identical () =
+  (* Feed the runtime's outcome and the simulator's through the same
+     monitor (agreement + event sanity) and compare verdicts. *)
+  if Ec.RT.available then
+    match
+      Ec.compare_with_sim ~transport:`Domains ~max_rounds:40
+        ~correct:(consensus_correct ~seed:4L 5) ()
+    with
+    | Error e -> Alcotest.failf "runtime error: %s" e
+    | Ok v ->
+        let verdict events obs ~round =
+          let m =
+            Ubpa_monitor.create
+              [
+                Ubpa_monitor.agreement ~equal:Int.equal ();
+                Ubpa_monitor.no_send_after_halt ();
+              ]
+          in
+          List.iter (Ubpa_monitor.observe_event m) events;
+          Ubpa_monitor.observe m ~round obs;
+          List.map
+            (fun (x : Ubpa_monitor.violation) ->
+              (x.Ubpa_monitor.invariant, x.Ubpa_monitor.detail))
+            (Ubpa_monitor.violations m)
+        in
+        let rt_obs =
+          List.map
+            (fun (s : Ec.RT.node_summary) ->
+              {
+                Ubpa_monitor.node = s.Ec.RT.ns_id;
+                joined_at = 1;
+                halted_at = s.Ec.RT.ns_halted_at;
+                down = false;
+                output = s.Ec.RT.ns_output;
+              })
+            v.Ec.v_run.Ec.RT.r_nodes
+        in
+        let round = v.Ec.v_run.Ec.RT.r_rounds in
+        let rt_verdict = verdict v.Ec.v_run.Ec.RT.r_events rt_obs ~round in
+        let sim_verdict =
+          verdict
+            (Trace.events (Ec.H.Net.trace v.Ec.v_sim.Ec.H.net))
+            (Ec.H.observations v.Ec.v_sim.Ec.H.net)
+            ~round
+        in
+        check_true "both monitors green" (rt_verdict = [] && sim_verdict = []);
+        check_true "verdicts identical" (rt_verdict = sim_verdict)
+
+let test_oracle_catches_tampering () =
+  (* Drop one delivered message from the recorded schedule: the replay
+     oracle must flag the exact round, instead of rubber-stamping. *)
+  if Ec.RT.available then
+    match Ec.RT.run ~max_rounds:40 ~correct:(consensus_correct ~seed:1L 4) () with
+    | Error e -> Alcotest.failf "runtime error: %s" e
+    | Ok run ->
+        check_true "untampered schedule replays clean"
+          (Ec.RT.replay run).Ec.RT.Oracle.ok;
+        let sc = run.Ec.RT.r_schedule in
+        let tampered_rounds =
+          List.mapi
+            (fun i m ->
+              if i <> 1 then m
+              else
+                Node_id.Map.mapi
+                  (fun _ (nr : Ec.RT.Oracle.node_round) ->
+                    match nr.Ec.RT.Oracle.nr_inbox with
+                    | [] -> nr
+                    | _ :: rest -> { nr with Ec.RT.Oracle.nr_inbox = rest })
+                  m)
+            sc.Ec.RT.Oracle.sc_rounds
+        in
+        let outcome =
+          Ec.RT.Oracle.replay
+            { sc with Ec.RT.Oracle.sc_rounds = tampered_rounds }
+        in
+        check_false "tampered schedule flagged" outcome.Ec.RT.Oracle.ok;
+        match outcome.Ec.RT.Oracle.divergence with
+        | Some d -> check_int "flagged at round 2" 2 d.Ec.RT.Oracle.d_round
+        | None -> Alcotest.fail "expected a divergence report"
+
+let suite =
+  ( "runtime",
+    [
+      quick "frame roundtrip" test_frame_roundtrip;
+      quick "frame decoder byte-by-byte" test_frame_decoder_incremental;
+      quick "frame decoder batch" test_frame_decoder_batch;
+      quick "frame partial buffers" test_frame_partial_pending;
+      quick "trace diff identical" test_trace_diff_identical;
+      quick "trace diff divergence" test_trace_diff_divergence;
+      quick "trace diff prefix" test_trace_diff_prefix;
+      quick "trace of_events roundtrip" test_trace_of_events_roundtrip;
+      quick "unavailable is graceful" test_unavailable_graceful;
+      quick "consensus domains differential" test_consensus_domains_differential;
+      quick "consensus socket differential" test_consensus_socket_differential;
+      quick "rb differential both transports" test_rb_differential;
+      quick "round-ms pacing is behaviour-neutral" test_round_ms_pacing;
+      quick "decide sets byte-identical" test_decides_byte_identical;
+      quick "monitor verdicts identical" test_monitor_verdicts_identical;
+      quick "oracle catches tampering" test_oracle_catches_tampering;
+    ] )
