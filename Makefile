@@ -6,9 +6,13 @@
 
 JOBS ?= 1
 
+# Seed for the runtime-chaos smoke; every fault decision derives from it
+# through per-edge splitmix64 streams, so reruns are byte-identical.
+UBPA_SEED ?= 7
+
 .PHONY: all build test bench bench-fast bench-csv bench-json bench-check \
-	bench-baseline bench-gate check check-full chaos runtime fmt fmt-check \
-	linkcheck examples clean
+	bench-baseline bench-gate check check-full chaos runtime runtime-chaos \
+	fmt fmt-check linkcheck examples clean
 
 all: build
 
@@ -94,6 +98,26 @@ runtime:
 		--max-rounds 6
 	dune exec bin/ubpa_cli.exe -- run --runtime socket --protocol rb -n 5 \
 		--max-rounds 6
+
+# Fault-injected runtime smoke: seeded wire faults + process crashes on
+# both transports, gated on graceful degradation (delivered-schedule
+# oracle, monitors, survivor agreement), plus one deliberately
+# beyond-budget cell that must produce its violation. Exit codes are the
+# verdict. `make runtime-chaos UBPA_SEED=9` re-rolls every fault stream.
+# See EXPERIMENTS.md (RT2) for the committed-baseline version.
+runtime-chaos:
+	dune exec bin/ubpa_cli.exe -- run --runtime domains --protocol consensus \
+		-n 5 --seed $(UBPA_SEED) --round-ms 60 --faults "crash:1@3,loss=0.05"
+	dune exec bin/ubpa_cli.exe -- run --runtime socket --protocol consensus \
+		-n 5 --seed $(UBPA_SEED) --round-ms 60 --faults "crash:1@3,loss=0.05"
+	dune exec bin/ubpa_cli.exe -- run --runtime domains --protocol rb -n 5 \
+		--seed $(UBPA_SEED) --max-rounds 6 --round-ms 60 --faults "crash:2@2"
+	dune exec bin/ubpa_cli.exe -- run --runtime socket --protocol rb -n 5 \
+		--seed $(UBPA_SEED) --max-rounds 6 --round-ms 60 \
+		--faults "delay:1@1..4=0.5x1,dup=0.05"
+	dune exec bin/ubpa_cli.exe -- run --runtime domains --protocol consensus \
+		-n 4 --seed 1 --max-rounds 12 --faults "recv-omit:1@1..12=1.0" \
+		--expect violation
 
 fmt:
 	dune build @fmt --auto-promote

@@ -698,6 +698,40 @@ let run_cmd =
              vocabulary as the simulator's; analyze or compare with ubpa \
              trace).")
   in
+  let faults_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Inject wire/process faults: comma-separated clauses over \
+             0-based node positions in the seeded population — loss=P, \
+             dup=P, crash:I@R, leave:I@R, send-omit:I@A..B=P, \
+             recv-omit:I@A..B=P, delay:I@A..B=PxD. Example: \
+             $(b,crash:1@3,delay:2@1..4=0.5x1,loss=0.05). Switches the \
+             gate from exact lockstep equivalence to graceful \
+             degradation (delivered-schedule oracle, monitors, survivor \
+             agreement).")
+  in
+  let dead_after_t =
+    Arg.(
+      value & opt int 2
+      & info [ "dead-after" ] ~docv:"K"
+          ~doc:
+            "Presume a peer dead after K consecutive silent deadline \
+             rounds and stop waiting on it (needs --round-ms > 0).")
+  in
+  let expect_t =
+    Arg.(
+      value
+      & opt (enum [ ("ok", `Ok); ("violation", `Violation) ]) `Ok
+      & info [ "expect" ] ~docv:"WHAT"
+          ~doc:
+            "With --faults: expected verdict. $(b,ok) (default) exits 0 \
+             when every degradation check passes; $(b,violation) exits 0 \
+             when at least one fails — for beyond-budget plans whose \
+             whole point is the counterexample.")
+  in
   let finish ~transport ~n ~rounds ~late ~frame_bytes ~wire ~checks ~events
       ~decisions ~trace_out =
     Fmt.pr "runtime=%s n=%d rounds=%d late-frames=%d frame-bytes=%d@."
@@ -722,17 +756,119 @@ let run_cmd =
     List.iter (fun line -> Fmt.pr "  %s@." line) decisions;
     if not (List.for_all (fun (_, ok, _) -> ok) checks) then exit 1
   in
-  let run runtime protocol n seed round_ms max_rounds trace_out =
+  let finish_faults ~transport ~n ~plan ~rounds ~late ~frame_bytes
+      ~injected:(lost, dup, delayed) ~dead ~crashed ~survivors ~checks
+      ~events ~decisions ~trace_out ~expect =
+    Fmt.pr "runtime=%s n=%d rounds=%d late-frames=%d frame-bytes=%d@."
+      transport n rounds late frame_bytes;
+    Fmt.pr "fault plan: %a@." Ubpa_faults.pp plan;
+    Fmt.pr "injected: lost=%d dup=%d delayed=%d@." lost dup delayed;
+    (match crashed with
+    | [] -> ()
+    | _ ->
+        Fmt.pr "crashed: %s@."
+          (String.concat ", "
+             (List.map
+                (fun (id, at) ->
+                  Fmt.str "%a@r%d" Ubpa_util.Node_id.pp id at)
+                crashed)));
+    (match dead with
+    | [] -> ()
+    | _ ->
+        Fmt.pr "presumed dead: %s@."
+          (String.concat ", "
+             (List.map
+                (fun (observer, peer, at) ->
+                  Fmt.str "%a saw %a dead r%d" Ubpa_util.Node_id.pp observer
+                    Ubpa_util.Node_id.pp peer at)
+                dead)));
+    Fmt.pr "survivors: %d/%d, %d decided@." (List.length survivors) n
+      (List.length decisions);
+    Fmt.pr "degradation checks:@.";
+    List.iter
+      (fun (name, ok, detail) ->
+        if ok then Fmt.pr "  %-18s ok@." name
+        else Fmt.pr "  %-18s FAIL: %s@." name detail)
+      checks;
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc
+              (Trace.to_jsonl (Trace.of_events events)));
+        Fmt.pr "trace written to %s@." path);
+    Fmt.pr "decisions:@.";
+    List.iter (fun line -> Fmt.pr "  %s@." line) decisions;
+    let ok = List.for_all (fun (_, ok, _) -> ok) checks in
+    (match (ok, expect) with
+    | true, `Ok -> Fmt.pr "verdict: degraded gracefully (as expected)@."
+    | false, `Violation ->
+        Fmt.pr "verdict: violation (expected — plan is beyond budget)@."
+    | true, `Violation ->
+        Fmt.pr "verdict: NO violation, but --expect violation@."
+    | false, `Ok -> Fmt.pr "verdict: VIOLATION@.");
+    if ok <> (expect = `Ok) then exit 1
+  in
+  let run runtime protocol n seed round_ms max_rounds trace_out faults
+      dead_after expect =
     let ids = Ubpa_harness.Harness.make_ids ~seed:(i64 seed) n in
+    let parse_plan spec =
+      match Ubpa_faults.parse_spec ~ids spec with
+      | Ok plan -> plan
+      | Error e ->
+          Fmt.epr "error: bad --faults spec: %s@." e;
+          exit 2
+    in
     match protocol with
-    | `Consensus ->
+    | `Consensus -> (
         let module E =
           Ubpa_harness.Runtime_exec.Make (Scenarios.Consensus_int.P) in
         let correct = List.mapi (fun i id -> (id, i mod 2)) ids in
-        (match
-           E.compare_with_sim ~transport:runtime ~round_ms ~max_rounds
-             ~correct ()
-         with
+        match faults with
+        | Some spec -> (
+            let plan = parse_plan spec in
+            match
+              E.run_with_faults ~transport:runtime ~round_ms ~max_rounds
+                ~dead_after ~faults:plan ~seed:(i64 seed) ~correct ()
+            with
+            | Error e ->
+                Fmt.epr "error: %s@." e;
+                exit 1
+            | Ok fv ->
+                finish_faults ~transport:fv.E.f_run.E.RT.r_transport ~n ~plan
+                  ~rounds:fv.E.f_run.E.RT.r_rounds
+                  ~late:fv.E.f_run.E.RT.r_late_frames
+                  ~frame_bytes:fv.E.f_run.E.RT.r_frame_bytes
+                  ~injected:
+                    ( fv.E.f_run.E.RT.r_injected
+                        .Ubpa_runtime.Transport_faulty.inj_lost,
+                      fv.E.f_run.E.RT.r_injected
+                        .Ubpa_runtime.Transport_faulty.inj_dup,
+                      fv.E.f_run.E.RT.r_injected
+                        .Ubpa_runtime.Transport_faulty.inj_delayed )
+                  ~dead:fv.E.f_run.E.RT.r_dead
+                  ~crashed:fv.E.f_run.E.RT.r_crashed
+                  ~survivors:fv.E.f_survivors
+                  ~checks:
+                    (List.map
+                       (fun c -> (c.E.c_name, c.E.c_ok, c.E.c_detail))
+                       fv.E.f_checks)
+                  ~events:fv.E.f_run.E.RT.r_events
+                  ~decisions:
+                    (List.filter_map
+                       (fun (s : E.RT.node_summary) ->
+                         Option.map
+                           (fun o ->
+                             Fmt.str "%a -> %d" Ubpa_util.Node_id.pp
+                               s.E.RT.ns_id o)
+                           s.E.RT.ns_output)
+                       fv.E.f_run.E.RT.r_nodes)
+                  ~trace_out ~expect)
+        | None -> (
+            match
+              E.compare_with_sim ~transport:runtime ~round_ms ~max_rounds
+                ~correct ()
+            with
         | Error e ->
             Fmt.epr "error: %s@." e;
             exit 1
@@ -756,8 +892,8 @@ let run_cmd =
                            o)
                        s.E.RT.ns_output)
                    v.E.v_run.E.RT.r_nodes)
-              ~trace_out)
-    | `Rb ->
+              ~trace_out))
+    | `Rb -> (
         let module E = Ubpa_harness.Runtime_exec.Make (Scenarios.Rb.P) in
         let correct =
           List.mapi
@@ -765,34 +901,96 @@ let run_cmd =
               (id, if i = 0 then Some (Printf.sprintf "m%d" seed) else None))
             ids
         in
-        (match
-           E.compare_with_sim ~transport:runtime ~round_ms ~max_rounds
-             ~correct ()
-         with
-        | Error e ->
-            Fmt.epr "error: %s@." e;
-            exit 1
-        | Ok v ->
-            finish ~transport:v.E.v_run.E.RT.r_transport ~n
-              ~rounds:v.E.v_run.E.RT.r_rounds
-              ~late:v.E.v_run.E.RT.r_late_frames
-              ~frame_bytes:v.E.v_run.E.RT.r_frame_bytes
-              ~wire:v.E.v_run.E.RT.r_wire
-              ~checks:
-                (List.map
-                   (fun c -> (c.E.c_name, c.E.c_ok, c.E.c_detail))
-                   v.E.v_checks)
-              ~events:v.E.v_run.E.RT.r_events
-              ~decisions:
-                (List.filter_map
-                   (fun (s : E.RT.node_summary) ->
-                     Option.map
-                       (fun acc ->
-                         Fmt.str "%a accepted %d pair(s)" Ubpa_util.Node_id.pp
-                           s.E.RT.ns_id (List.length acc))
-                       s.E.RT.ns_output)
-                   v.E.v_run.E.RT.r_nodes)
-              ~trace_out)
+        (* RB outputs are cumulative accepted streams, not single
+           decisions: the degradation gate's agreement relation is
+           consistency — no sender accepted with two different payloads
+           across two nodes. *)
+        let rb_consistent (a : Scenarios.Rb.P.output)
+            (b : Scenarios.Rb.P.output) =
+          List.for_all
+            (fun (x : Scenarios.Rb.P.accepted) ->
+              List.for_all
+                (fun (y : Scenarios.Rb.P.accepted) ->
+                  (not
+                     (Ubpa_util.Node_id.equal x.Scenarios.Rb.P.sender
+                        y.Scenarios.Rb.P.sender))
+                  || String.equal x.Scenarios.Rb.P.payload
+                       y.Scenarios.Rb.P.payload)
+                b)
+            a
+        in
+        match faults with
+        | Some spec -> (
+            let plan = parse_plan spec in
+            match
+              E.run_with_faults ~equal_output:rb_consistent
+                ~transport:runtime ~round_ms ~max_rounds ~dead_after
+                ~faults:plan ~seed:(i64 seed) ~correct ()
+            with
+            | Error e ->
+                Fmt.epr "error: %s@." e;
+                exit 1
+            | Ok fv ->
+                finish_faults ~transport:fv.E.f_run.E.RT.r_transport ~n ~plan
+                  ~rounds:fv.E.f_run.E.RT.r_rounds
+                  ~late:fv.E.f_run.E.RT.r_late_frames
+                  ~frame_bytes:fv.E.f_run.E.RT.r_frame_bytes
+                  ~injected:
+                    ( fv.E.f_run.E.RT.r_injected
+                        .Ubpa_runtime.Transport_faulty.inj_lost,
+                      fv.E.f_run.E.RT.r_injected
+                        .Ubpa_runtime.Transport_faulty.inj_dup,
+                      fv.E.f_run.E.RT.r_injected
+                        .Ubpa_runtime.Transport_faulty.inj_delayed )
+                  ~dead:fv.E.f_run.E.RT.r_dead
+                  ~crashed:fv.E.f_run.E.RT.r_crashed
+                  ~survivors:fv.E.f_survivors
+                  ~checks:
+                    (List.map
+                       (fun c -> (c.E.c_name, c.E.c_ok, c.E.c_detail))
+                       fv.E.f_checks)
+                  ~events:fv.E.f_run.E.RT.r_events
+                  ~decisions:
+                    (List.filter_map
+                       (fun (s : E.RT.node_summary) ->
+                         Option.map
+                           (fun acc ->
+                             Fmt.str "%a accepted %d pair(s)"
+                               Ubpa_util.Node_id.pp s.E.RT.ns_id
+                               (List.length acc))
+                           s.E.RT.ns_output)
+                       fv.E.f_run.E.RT.r_nodes)
+                  ~trace_out ~expect)
+        | None -> (
+            match
+              E.compare_with_sim ~transport:runtime ~round_ms ~max_rounds
+                ~correct ()
+            with
+            | Error e ->
+                Fmt.epr "error: %s@." e;
+                exit 1
+            | Ok v ->
+                finish ~transport:v.E.v_run.E.RT.r_transport ~n
+                  ~rounds:v.E.v_run.E.RT.r_rounds
+                  ~late:v.E.v_run.E.RT.r_late_frames
+                  ~frame_bytes:v.E.v_run.E.RT.r_frame_bytes
+                  ~wire:v.E.v_run.E.RT.r_wire
+                  ~checks:
+                    (List.map
+                       (fun c -> (c.E.c_name, c.E.c_ok, c.E.c_detail))
+                       v.E.v_checks)
+                  ~events:v.E.v_run.E.RT.r_events
+                  ~decisions:
+                    (List.filter_map
+                       (fun (s : E.RT.node_summary) ->
+                         Option.map
+                           (fun acc ->
+                             Fmt.str "%a accepted %d pair(s)"
+                               Ubpa_util.Node_id.pp s.E.RT.ns_id
+                               (List.length acc))
+                           s.E.RT.ns_output)
+                       v.E.v_run.E.RT.r_nodes)
+                  ~trace_out))
   in
   Cmd.v
     (Cmd.info "run"
@@ -802,7 +1000,7 @@ let run_cmd =
           the lockstep simulator")
     Term.(
       const run $ runtime_t $ protocol_t $ n_t $ seed_t $ round_ms_t
-      $ max_rounds_t $ trace_out_t)
+      $ max_rounds_t $ trace_out_t $ faults_t $ dead_after_t $ expect_t)
 
 (* ----- chaos sweep ----- *)
 

@@ -5,6 +5,7 @@ type benign =
   | Leave of { at : int; rejoin : int option }
   | Send_omission of { first : int; last : int option; prob : float }
   | Recv_omission of { first : int; last : int option; prob : float }
+  | Delay of { first : int; last : int option; prob : float; rounds : int }
 
 type plan = {
   node_faults : (Node_id.t * benign list) list;  (** ascending node id *)
@@ -42,6 +43,14 @@ let check_benign = function
         (fun l ->
           if l < first then invalid_arg "Ubpa_faults: omission window ends before it starts")
         last
+  | Delay { first; last; prob; rounds } ->
+      check_round "delay" first;
+      check_prob "delay" prob;
+      if rounds < 1 then invalid_arg "Ubpa_faults: delay must hold for at least one round";
+      Option.iter
+        (fun l ->
+          if l < first then invalid_arg "Ubpa_faults: delay window ends before it starts")
+        last
 
 let make ?(loss = 0.) ?(dup = 0.) node_faults =
   check_prob "loss" loss;
@@ -59,6 +68,7 @@ let crash ~at ?recover () = Crash { at; recover }
 let leave ~at ?rejoin () = Leave { at; rejoin }
 let send_omission ~first ?last ~prob () = Send_omission { first; last; prob }
 let recv_omission ~first ?last ~prob () = Recv_omission { first; last; prob }
+let delay ~first ?last ~prob ~rounds () = Delay { first; last; prob; rounds }
 
 let loss p = p.loss
 let dup p = p.dup
@@ -117,6 +127,44 @@ let recv_omission_prob p ~node ~round =
     (function Recv_omission { first; last; prob } -> Some (first, last, prob) | _ -> None)
     p ~node ~round
 
+let delay_spec p ~node ~round =
+  List.fold_left
+    (fun acc f ->
+      match f with
+      | Delay { first; last; prob; rounds }
+        when round >= first
+             && (match last with None -> true | Some l -> round <= l) -> (
+          match acc with
+          | Some (p0, _) when p0 >= prob -> acc
+          | _ -> Some (prob, rounds))
+      | _ -> acc)
+    None (faults_of p node)
+
+let has_recovery p =
+  List.exists
+    (fun (_, fs) ->
+      List.exists
+        (function
+          | Crash { recover = Some _; _ } | Leave { rejoin = Some _; _ } -> true
+          | _ -> false)
+        fs)
+    p.node_faults
+
+let crashes p =
+  List.filter_map
+    (fun (id, fs) ->
+      let at =
+        List.fold_left
+          (fun acc f ->
+            match f with
+            | Crash { at; recover = None } | Leave { at; rejoin = None } -> (
+                match acc with Some a when a <= at -> acc | _ -> Some at)
+            | _ -> acc)
+          None fs
+      in
+      Option.map (fun at -> (id, at)) at)
+    p.node_faults
+
 let pp_benign ppf = function
   | Crash { at; recover = None } -> Fmt.pf ppf "crash@r%d" at
   | Crash { at; recover = Some r } -> Fmt.pf ppf "crash@r%d..r%d" at (r - 1)
@@ -130,6 +178,10 @@ let pp_benign ppf = function
       Fmt.pf ppf "recv-omit[r%d..%s]p=%.2f" first
         (match last with None -> "" | Some l -> Printf.sprintf "r%d" l)
         prob
+  | Delay { first; last; prob; rounds } ->
+      Fmt.pf ppf "delay[r%d..%s]p=%.2f+%dr" first
+        (match last with None -> "" | Some l -> Printf.sprintf "r%d" l)
+        prob rounds
 
 let pp ppf p =
   if is_empty p then Fmt.string ppf "(no faults)"
@@ -141,3 +193,147 @@ let pp ppf p =
     if p.loss > 0. then Fmt.pf ppf "loss: %.2f@." p.loss;
     if p.dup > 0. then Fmt.pf ppf "dup: %.2f@." p.dup
   end
+
+(* Plan DSL: comma-separated clauses over 0-based node indexes (in
+   ascending-id order), so a spec is portable across id seeds:
+
+     loss=P | dup=P
+     crash:I@R | leave:I@R
+     send-omit:I@A..B=P | recv-omit:I@A..B=P   (A.. = open-ended, A = A..A)
+     delay:I@A..B=PxD                          (hold prob P, D rounds)   *)
+
+let ( let* ) = Result.bind
+
+let parse_int what s =
+  match int_of_string_opt (String.trim s) with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "bad %s %S" what s)
+
+let parse_prob what s =
+  match float_of_string_opt (String.trim s) with
+  | Some p when p >= 0. && p <= 1. -> Ok p
+  | _ -> Error (Printf.sprintf "bad %s %S (want a probability in [0,1])" what s)
+
+(* "A..B" | "A.." | "A" -> (first, last option) *)
+let parse_window s =
+  match
+    let i = ref None in
+    String.iteri (fun k c -> if c = '.' && !i = None then i := Some k) s;
+    !i
+  with
+  | None ->
+      let* a = parse_int "round" s in
+      Ok (a, Some a)
+  | Some i ->
+      if i + 1 >= String.length s || s.[i + 1] <> '.' then
+        Error (Printf.sprintf "bad round window %S" s)
+      else
+        let* a = parse_int "round" (String.sub s 0 i) in
+        let b = String.sub s (i + 2) (String.length s - i - 2) in
+        if String.trim b = "" then Ok (a, None)
+        else
+          let* b = parse_int "round" b in
+          Ok (a, Some b)
+
+(* "I@REST" -> (index, rest) *)
+let parse_at s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "expected NODE@... in %S" s)
+  | Some i ->
+      let* ix = parse_int "node index" (String.sub s 0 i) in
+      Ok (ix, String.sub s (i + 1) (String.length s - i - 1))
+
+let split1 c s =
+  match String.index_opt s c with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let parse_clause clause =
+  let clause = String.trim clause in
+  let win_prob rest =
+    match split1 '=' rest with
+    | None -> Error (Printf.sprintf "expected WINDOW=PROB in %S" rest)
+    | Some (w, p) ->
+        let* first, last = parse_window w in
+        let* prob = parse_prob "probability" p in
+        Ok (first, last, prob)
+  in
+  match split1 ':' clause with
+  | None -> (
+      match split1 '=' clause with
+      | Some ("loss", p) ->
+          let* p = parse_prob "loss" p in
+          Ok (`Loss p)
+      | Some ("dup", p) ->
+          let* p = parse_prob "dup" p in
+          Ok (`Dup p)
+      | _ -> Error (Printf.sprintf "unknown fault clause %S" clause))
+  | Some (kind, rest) -> (
+      let* ix, rest = parse_at rest in
+      match kind with
+      | "crash" ->
+          let* at = parse_int "round" rest in
+          Ok (`Node (ix, Crash { at; recover = None }))
+      | "leave" ->
+          let* at = parse_int "round" rest in
+          Ok (`Node (ix, Leave { at; rejoin = None }))
+      | "send-omit" ->
+          let* first, last, prob = win_prob rest in
+          Ok (`Node (ix, Send_omission { first; last; prob }))
+      | "recv-omit" ->
+          let* first, last, prob = win_prob rest in
+          Ok (`Node (ix, Recv_omission { first; last; prob }))
+      | "delay" -> (
+          match split1 '=' rest with
+          | None -> Error (Printf.sprintf "expected WINDOW=PROBxROUNDS in %S" rest)
+          | Some (w, pd) -> (
+              let* first, last = parse_window w in
+              match split1 'x' pd with
+              | None -> Error (Printf.sprintf "expected PROBxROUNDS in %S" pd)
+              | Some (p, d) ->
+                  let* prob = parse_prob "probability" p in
+                  let* rounds = parse_int "delay rounds" d in
+                  Ok (`Node (ix, Delay { first; last; prob; rounds }))))
+      | _ -> Error (Printf.sprintf "unknown fault kind %S" kind))
+
+let parse_spec ~ids spec =
+  let ids = Array.of_list (Node_id.sorted ids) in
+  let clauses =
+    List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' spec)
+  in
+  if clauses = [] then Error "empty fault spec"
+  else
+    let* parsed =
+      List.fold_left
+        (fun acc c ->
+          let* acc = acc in
+          let* p = parse_clause c in
+          Ok (p :: acc))
+        (Ok []) clauses
+    in
+    let parsed = List.rev parsed in
+    let loss =
+      List.fold_left (fun a -> function `Loss p -> Float.max a p | _ -> a) 0. parsed
+    and dup =
+      List.fold_left (fun a -> function `Dup p -> Float.max a p | _ -> a) 0. parsed
+    in
+    let* by_node =
+      List.fold_left
+        (fun acc p ->
+          let* acc = acc in
+          match p with
+          | `Loss _ | `Dup _ -> Ok acc
+          | `Node (ix, f) ->
+              if ix < 0 || ix >= Array.length ids then
+                Error
+                  (Printf.sprintf "node index %d out of range (population has %d nodes)"
+                     ix (Array.length ids))
+              else
+                let id = ids.(ix) in
+                let fs = match List.assoc_opt id acc with Some fs -> fs | None -> [] in
+                Ok ((id, fs @ [ f ]) :: List.remove_assoc id acc))
+        (Ok []) parsed
+    in
+    match make ~loss ~dup by_node with
+    | plan -> Ok plan
+    | exception Invalid_argument msg -> Error msg

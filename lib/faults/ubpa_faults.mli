@@ -35,6 +35,14 @@ type benign =
   | Recv_omission of { first : int; last : int option; prob : float }
       (** While active, each envelope addressed to the node is dropped
           after routing with probability [prob]. *)
+  | Delay of { first : int; last : int option; prob : float; rounds : int }
+      (** While active, each envelope addressed to the node is held back
+          with probability [prob] for [rounds] extra rounds
+          ([rounds >= 1]). Under the engine's synchronous semantics a
+          held envelope misses its delivery round and is dropped (the
+          simulator has no late-delivery slot); the networked runtime
+          surfaces it as a {e late frame} — counted, then dropped — so
+          both layers agree the message never reached the protocol. *)
 
 type plan
 
@@ -61,6 +69,7 @@ val crash : at:int -> ?recover:int -> unit -> benign
 val leave : at:int -> ?rejoin:int -> unit -> benign
 val send_omission : first:int -> ?last:int -> prob:float -> unit -> benign
 val recv_omission : first:int -> ?last:int -> prob:float -> unit -> benign
+val delay : first:int -> ?last:int -> prob:float -> rounds:int -> unit -> benign
 
 (** {2 Queries (used by the engine)} *)
 
@@ -87,4 +96,39 @@ val send_omission_prob : plan -> node:Node_id.t -> round:int -> float
 
 val recv_omission_prob : plan -> node:Node_id.t -> round:int -> float
 
+val delay_spec : plan -> node:Node_id.t -> round:int -> (float * int) option
+(** Active delay fault for an envelope addressed to [node] delivered in
+    [round]: [(prob, extra_rounds)], picking the highest-probability
+    active window. [None] when no delay fault applies — interpreters
+    must draw {e no} randomness in that case, so plans without delay
+    faults reproduce historical runs bit-for-bit. *)
+
+val has_recovery : plan -> bool
+(** True iff any crash has a [recover] or any leave a [rejoin] round.
+    The networked runtime rejects such plans (a real crashed process
+    cannot resume); the simulator supports them. *)
+
+val crashes : plan -> (Node_id.t * int) list
+(** Permanent departures: each node with an unrecovered crash/leave,
+    paired with the first round it is down, ascending by id. *)
+
 val pp : Format.formatter -> plan -> unit
+
+val parse_spec : ids:Node_id.t list -> string -> (plan, string) result
+(** [parse_spec ~ids s] parses the plan DSL used by [ubpa run --faults]
+    and [ubpa chaos]: comma-separated clauses addressing nodes by
+    {e 0-based index} into the ascending-id order of [ids] (portable
+    across id seeds). Clauses:
+
+    {v
+    loss=P                  global loss probability
+    dup=P                   global next-round duplication probability
+    crash:I@R               node I crash-stops at round R
+    leave:I@R               node I leaves (churn) at round R
+    send-omit:I@A..B=P      send omission, rounds A..B (A.. open, A = A..A)
+    recv-omit:I@A..B=P      receive omission, same window syntax
+    delay:I@A..B=PxD        delay to node I: hold prob P, D extra rounds
+    v}
+
+    Example: ["crash:1@3,delay:2@1..4=0.5x1,loss=0.05"]. Returns the
+    validated plan or a human-readable error. *)

@@ -108,4 +108,114 @@ module Make (P : Protocol.S) = struct
             v_checks = checks;
             v_ok = List.for_all (fun c -> c.c_ok) checks;
           }
+
+  type fault_verdict = {
+    f_run : RT.run;
+    f_oracle : RT.Oracle.outcome;
+    f_survivors : Node_id.t list;
+    f_checks : check list;
+    f_ok : bool;
+  }
+
+  let run_with_faults ?(equal_output = Stdlib.( = )) ?transport ?round_ms
+      ?max_rounds ?dead_after ~faults ~seed ~correct () =
+    match
+      RT.run ?transport ?round_ms ?max_rounds ~faults ~fault_seed:seed
+        ?dead_after ~correct ()
+    with
+    | Error e -> Error e
+    | Ok run ->
+        let oracle = RT.replay ~delivered:true run in
+        let victims =
+          List.filter_map
+            (fun (n : RT.node_summary) ->
+              Option.map (fun _ -> n.RT.ns_id) n.RT.ns_crashed_at)
+            run.RT.r_nodes
+        in
+        let survivors =
+          List.filter_map
+            (fun (n : RT.node_summary) ->
+              if n.RT.ns_crashed_at = None then Some n else None)
+            run.RT.r_nodes
+        in
+        let monitor_violations =
+          let m =
+            Ubpa_monitor.create
+              ~excused:(Node_id.Set.of_list victims)
+              [
+                Ubpa_monitor.agreement ~equal:equal_output ();
+                Ubpa_monitor.no_send_after_halt ();
+              ]
+          in
+          List.iter (Ubpa_monitor.observe_event m) run.RT.r_events;
+          Ubpa_monitor.observe m ~round:run.RT.r_rounds
+            (List.map
+               (fun (n : RT.node_summary) ->
+                 {
+                   Ubpa_monitor.node = n.RT.ns_id;
+                   joined_at = 1;
+                   halted_at = n.RT.ns_halted_at;
+                   down = n.RT.ns_crashed_at <> None;
+                   output = n.RT.ns_output;
+                 })
+               run.RT.r_nodes);
+          Ubpa_monitor.violations m
+        in
+        let decided = List.filter (fun (n : RT.node_summary) -> n.RT.ns_output <> None) survivors in
+        let rec pairwise_agree = function
+          | [] | [ _ ] -> true
+          | a :: (b :: _ as rest) -> equal_output a b && pairwise_agree rest
+        in
+        let survivor_outputs =
+          List.filter_map (fun (n : RT.node_summary) -> n.RT.ns_output) survivors
+        in
+        (* The oracle's crashed-node view must match the runtime's crash
+           ledger: every victim whose crash round the run reached is
+           missing from the delivered schedule, and nothing else is. *)
+        let crash_view_ok =
+          let missing_ids = List.map fst oracle.RT.Oracle.missing in
+          List.for_all
+            (fun id -> List.exists (Node_id.equal id) victims)
+            missing_ids
+          && List.for_all
+               (fun (n : RT.node_summary) ->
+                 match n.RT.ns_crashed_at with
+                 | Some at when at <= run.RT.r_rounds ->
+                     List.exists (Node_id.equal n.RT.ns_id) missing_ids
+                 | _ -> true)
+               run.RT.r_nodes
+        in
+        let checks =
+          [
+            check "oracle-replay" oracle.RT.Oracle.ok
+              (match oracle.RT.Oracle.divergence with
+              | Some d -> Fmt.str "%a" RT.Oracle.pp_divergence d
+              | None -> "delivered-schedule replay diverged");
+            check "crash-view" crash_view_ok
+              (Fmt.str
+                 "oracle sees %d missing node(s), runtime crashed %d"
+                 (List.length oracle.RT.Oracle.missing)
+                 (List.length victims));
+            check "monitors" (monitor_violations = [])
+              (match monitor_violations with
+              | v :: _ -> Fmt.str "%a" Ubpa_monitor.pp_violation v
+              | [] -> "monitor violation");
+            check "survivor-agreement"
+              (pairwise_agree survivor_outputs)
+              "two surviving correct nodes decided differently";
+            check "survivors-decide"
+              (List.length decided = List.length survivors)
+              (Fmt.str "%d of %d surviving node(s) decided"
+                 (List.length decided) (List.length survivors));
+          ]
+        in
+        Ok
+          {
+            f_run = run;
+            f_oracle = oracle;
+            f_survivors =
+              List.map (fun (n : RT.node_summary) -> n.RT.ns_id) survivors;
+            f_checks = checks;
+            f_ok = List.for_all (fun c -> c.c_ok) checks;
+          }
 end

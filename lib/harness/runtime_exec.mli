@@ -49,4 +49,41 @@ module Make (P : Protocol.S) : sig
       failed check, not an error. [equal_output] defaults to structural
       equality — right for the pure-data outputs scenario protocols
       use. *)
+
+  (** The graceful-degradation verdict for a faulty run. *)
+  type fault_verdict = {
+    f_run : RT.run;
+    f_oracle : RT.Oracle.outcome;  (** Delivered-mode replay. *)
+    f_survivors : Node_id.t list;
+        (** Nodes the plan did not crash, ascending. *)
+    f_checks : check list;
+        (** "oracle-replay" (delivered-schedule equivalence),
+            "crash-view" (the oracle's missing set matches the runtime's
+            crash ledger), "monitors" (agreement + event sanity with the
+            victims excused), "survivor-agreement", "survivors-decide". *)
+    f_ok : bool;
+  }
+
+  val run_with_faults :
+    ?equal_output:(P.output -> P.output -> bool) ->
+    ?transport:RT.transport ->
+    ?round_ms:float ->
+    ?max_rounds:int ->
+    ?dead_after:int ->
+    faults:Ubpa_faults.plan ->
+    seed:int64 ->
+    correct:(Node_id.t * P.input) list ->
+    unit ->
+    (fault_verdict, string) result
+  (** Run under a fault plan and gate on graceful degradation instead of
+      exact lockstep equivalence: the delivered schedule must replay
+      clean through the oracle's delivered mode, the safety monitors
+      (with the crashed victims excused) must stay green, and the
+      surviving correct nodes must all decide and agree. A plan beyond
+      the protocol's fault budget is {e expected} to fail one of these
+      checks — the verdict reports it, the caller decides whether that
+      was the experiment's point. [equal_output] is both the monitor's
+      agreement relation and the survivor-agreement comparison; for
+      protocols whose outputs are streams (reliable broadcast), pass the
+      appropriate consistency relation. *)
 end

@@ -1,34 +1,63 @@
-type t = { src : Ubpa_util.Node_id.t; round : int; body : string }
+type kind = Data | Done | Halt
 
-let header_bytes = 16 (* u32 len + i64 src + u32 round *)
+type t = { src : Ubpa_util.Node_id.t; round : int; kind : kind; body : string }
 
-let encode { src; round; body } =
+let header_bytes = 17 (* u32 len + i64 src + u32 round + u8 kind *)
+let max_body_bytes = 1 lsl 20
+
+let kind_byte = function Data -> 0 | Done -> 1 | Halt -> 2
+let kind_of_byte = function 0 -> Some Data | 1 -> Some Done | 2 -> Some Halt | _ -> None
+
+let encode { src; round; kind; body } =
   let len = String.length body in
+  if len > max_body_bytes then
+    invalid_arg
+      (Printf.sprintf "Frame.encode: body %d bytes exceeds max %d" len max_body_bytes);
   let b = Bytes.create (header_bytes + len) in
   Bytes.set_int32_be b 0 (Int32.of_int len);
   Bytes.set_int64_be b 4 (Int64.of_int (Ubpa_util.Node_id.to_int src));
   Bytes.set_int32_be b 12 (Int32.of_int round);
+  Bytes.set_uint8 b 16 (kind_byte kind);
   Bytes.blit_string body 0 b header_bytes len;
   Bytes.unsafe_to_string b
 
-let decode_at buf off =
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* Header sanity stands alone so the incremental decoder can reject a
+   hostile length prefix *before* buffering toward a body that will
+   never legitimately arrive. *)
+let check_header buf off =
   let len = Int32.to_int (Bytes.get_int32_be buf off) in
-  if len < 0 then failwith "Frame.decode: negative length";
+  if len < 0 then corrupt "negative body length %d" len;
+  if len > max_body_bytes then
+    corrupt "body length %d exceeds max %d" len max_body_bytes;
+  let k = Bytes.get_uint8 buf (off + 16) in
+  match kind_of_byte k with
+  | Some kind -> (len, kind)
+  | None -> corrupt "unknown frame kind %d" k
+
+let decode_at buf off =
+  let len, kind = check_header buf off in
   let src =
     Ubpa_util.Node_id.of_int (Int64.to_int (Bytes.get_int64_be buf (off + 4)))
   in
   let round = Int32.to_int (Bytes.get_int32_be buf (off + 12)) in
-  if Bytes.length buf - off - header_bytes < len then
-    failwith "Frame.decode: truncated frame";
-  { src; round; body = Bytes.sub_string buf (off + header_bytes) len }
+  if Bytes.length buf - off - header_bytes < len then corrupt "truncated frame";
+  { src; round; kind; body = Bytes.sub_string buf (off + header_bytes) len }
 
 let decode s =
-  let buf = Bytes.of_string s in
-  if Bytes.length buf < header_bytes then failwith "Frame.decode: short buffer";
-  let f = decode_at buf 0 in
-  if header_bytes + String.length f.body <> String.length s then
-    failwith "Frame.decode: trailing bytes";
-  f
+  match
+    let buf = Bytes.of_string s in
+    if Bytes.length buf < header_bytes then corrupt "short buffer";
+    let f = decode_at buf 0 in
+    if header_bytes + String.length f.body <> String.length s then
+      corrupt "trailing bytes";
+    f
+  with
+  | f -> Ok f
+  | exception Corrupt msg -> Error ("Frame.decode: " ^ msg)
 
 type decoder = { mutable buf : Bytes.t; mutable used : int }
 
@@ -47,28 +76,31 @@ let ensure d extra =
   end
 
 let feed d src len =
-  ensure d len;
-  Bytes.blit src 0 d.buf d.used len;
-  d.used <- d.used + len;
-  let frames = ref [] in
-  let off = ref 0 in
-  let continue = ref true in
-  while !continue do
-    if d.used - !off < header_bytes then continue := false
-    else
-      let body_len = Int32.to_int (Bytes.get_int32_be d.buf !off) in
-      if body_len < 0 then failwith "Frame.feed: negative length"
-      else if d.used - !off < header_bytes + body_len then continue := false
-      else begin
-        frames := decode_at d.buf !off :: !frames;
-        off := !off + header_bytes + body_len
-      end
-  done;
-  if !off > 0 then begin
-    Bytes.blit d.buf !off d.buf 0 (d.used - !off);
-    d.used <- d.used - !off
-  end;
-  List.rev !frames
+  match
+    ensure d len;
+    Bytes.blit src 0 d.buf d.used len;
+    d.used <- d.used + len;
+    let frames = ref [] in
+    let off = ref 0 in
+    let continue = ref true in
+    while !continue do
+      if d.used - !off < header_bytes then continue := false
+      else
+        let body_len, _ = check_header d.buf !off in
+        if d.used - !off < header_bytes + body_len then continue := false
+        else begin
+          frames := decode_at d.buf !off :: !frames;
+          off := !off + header_bytes + body_len
+        end
+    done;
+    if !off > 0 then begin
+      Bytes.blit d.buf !off d.buf 0 (d.used - !off);
+      d.used <- d.used - !off
+    end;
+    List.rev !frames
+  with
+  | frames -> Ok frames
+  | exception Corrupt msg -> Error ("Frame.feed: " ^ msg)
 
 let pending_bytes d = d.used
 let marshal_message m = Marshal.to_string m []

@@ -1,33 +1,51 @@
 (** Length-prefixed wire framing for the networked runtime.
 
-    One frame carries one protocol message from one sender for one round:
+    One frame carries one protocol message — or one control marker —
+    from one sender for one round:
 
     {v
-      [u32 BE body length][i64 BE sender id][u32 BE send round][body]
+      [u32 BE body length][i64 BE sender id][u32 BE send round][u8 kind][body]
     v}
 
-    The body is the protocol message serialized with [Marshal] — protocol
-    messages are pure structural data (the [Protocol.Structural] contract),
-    so marshalling round-trips them exactly. Semantic wire-size accounting
-    stays with [Protocol.encoded_bits] (the simulator's and oracle's
-    common currency); frame bytes are reported separately as transport
+    The body of a {!Data} frame is the protocol message serialized with
+    [Marshal] — protocol messages are pure structural data (the
+    [Protocol.Structural] contract), so marshalling round-trips them
+    exactly. Control frames ({!Done}, {!Halt}) carry an empty body; they
+    are the deadline synchronizer's round markers and never reach the
+    protocol. Semantic wire-size accounting stays with
+    [Protocol.encoded_bits] (the simulator's and oracle's common
+    currency); frame bytes are reported separately as transport
     overhead. *)
+
+(** Frame kinds. [Data] is a protocol message; [Done r] marks "sender
+    finished emitting for round [r]"; [Halt r] is a farewell — the
+    sender halted after round [r] and will not mark again. *)
+type kind = Data | Done | Halt
 
 type t = {
   src : Ubpa_util.Node_id.t;  (** Sender. *)
   round : int;  (** Round the sender emitted this in (delivered at +1). *)
-  body : string;  (** Marshalled protocol message. *)
+  kind : kind;
+  body : string;  (** Marshalled protocol message; [""] for control. *)
 }
 
 val encode : t -> string
-(** Header + body, ready to write to a stream or mailbox. *)
+(** Header + body, ready to write to a stream or mailbox.
+    @raise Invalid_argument if the body exceeds {!max_body_bytes}. *)
 
 val header_bytes : int
-(** Fixed per-frame overhead (16 bytes). *)
+(** Fixed per-frame overhead (17 bytes). *)
 
-val decode : string -> t
-(** Inverse of {!encode} on exactly one whole frame.
-    @raise Failure on a short or corrupt buffer. *)
+val max_body_bytes : int
+(** Hard upper bound on a frame body (1 MiB). Both decoders reject a
+    length prefix above it — a hostile or corrupt header must surface
+    as a clean [Error], never as an unbounded allocation or a decoder
+    buffering forever toward a body that will never arrive. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode} on exactly one whole frame. [Error] on a
+    short buffer, negative/oversized length prefix, unknown kind byte,
+    or trailing bytes. *)
 
 (** {2 Incremental decoding}
 
@@ -38,9 +56,11 @@ type decoder
 
 val decoder : unit -> decoder
 
-val feed : decoder -> bytes -> int -> t list
+val feed : decoder -> bytes -> int -> (t list, string) result
 (** [feed d buf len] appends [buf[0..len)] and returns every frame
-    completed by it, in stream order. *)
+    completed by it, in stream order. [Error] means the stream is
+    corrupt (hostile header — see {!max_body_bytes} — or unknown kind);
+    the decoder must be discarded with its connection. *)
 
 val pending_bytes : decoder -> int
 (** Buffered bytes not yet forming a whole frame (0 on clean EOF). *)

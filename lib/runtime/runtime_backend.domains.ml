@@ -1,4 +1,4 @@
-(* OCaml 5 backend: real domains, Mutex/Condition barriers and mailboxes.
+(* OCaml 5 backend: real domains and Mutex-protected mailboxes.
    Selected by dune when the [runtime_events] library exists (OCaml 5). *)
 
 let available = true
@@ -8,39 +8,6 @@ type handle = unit Domain.t
 
 let spawn f = Domain.spawn f
 let join h = Domain.join h
-
-type barrier = {
-  b_mutex : Mutex.t;
-  b_cond : Condition.t;
-  b_parties : int;
-  mutable b_arrived : int;
-  mutable b_generation : int;
-}
-
-let barrier ~parties =
-  if parties <= 0 then invalid_arg "Runtime_backend.barrier";
-  {
-    b_mutex = Mutex.create ();
-    b_cond = Condition.create ();
-    b_parties = parties;
-    b_arrived = 0;
-    b_generation = 0;
-  }
-
-let await b =
-  Mutex.lock b.b_mutex;
-  let gen = b.b_generation in
-  b.b_arrived <- b.b_arrived + 1;
-  if b.b_arrived = b.b_parties then begin
-    b.b_arrived <- 0;
-    b.b_generation <- gen + 1;
-    Condition.broadcast b.b_cond
-  end
-  else
-    while b.b_generation = gen do
-      Condition.wait b.b_cond b.b_mutex
-    done;
-  Mutex.unlock b.b_mutex
 
 type mailbox = {
   m_mutex : Mutex.t;

@@ -2,7 +2,7 @@
     dune's [(select)] — the same pattern as {!Ubpa_harness.Pool}'s
     executor: on OCaml 5 (detected via the [runtime_events] library, which
     only exists there) nodes run on real domains with Mutex/Condition
-    mailboxes and barriers; on 4.14 a stub keeps the interface so the rest
+    mailboxes; on 4.14 a stub keeps the interface so the rest
     of the runtime compiles, and every operation raises
     [Failure "runtime unavailable: ..."]. Callers must check {!available}
     first — {!Ubpa_runtime.Runner.run} turns it into a graceful [Error]. *)
@@ -24,22 +24,12 @@ val spawn : (unit -> unit) -> handle
 val join : handle -> unit
 (** Wait for the node to finish; re-raises its uncaught exception. *)
 
-(** {2 Cyclic barrier}
-
-    All [parties] must call {!await} before any of them returns; the
-    barrier then resets for the next phase. The Mutex/Condition inside
-    gives the happens-before edge the runtime relies on: anything a node
-    writes before {!await} is visible to every node after it returns. *)
-
-type barrier
-
-val barrier : parties:int -> barrier
-val await : barrier -> unit
-
 (** {2 Mailboxes}
 
     One per node: any node may {!push} an encoded frame, only the owner
-    {!drain}s. FIFO per producer. *)
+    {!drain}s. FIFO per producer. The Mutex inside gives the
+    happens-before edge the runtime relies on: anything a node writes
+    before {!push} is visible to the owner after {!drain} returns it. *)
 
 type mailbox
 

@@ -15,11 +15,6 @@ type handle = unit
 let spawn (_ : unit -> unit) : handle = unavailable ()
 let join (_ : handle) = unavailable ()
 
-type barrier = unit
-
-let barrier ~parties:(_ : int) : barrier = unavailable ()
-let await (_ : barrier) = unavailable ()
-
 type mailbox = unit
 
 let mailbox () : mailbox = unavailable ()

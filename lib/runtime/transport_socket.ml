@@ -26,7 +26,18 @@ type hub = {
 
 let name = "socket"
 
+(* A peer that crashed mid-run closes its end of the pair; without this,
+   the next write to it raises SIGPIPE and kills the whole process. With
+   the signal ignored the write fails with EPIPE instead, which [send]
+   turns into a catchable error. *)
+let mask_sigpipe =
+  lazy
+    (match Sys.os_type with
+    | "Unix" -> ( try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+    | _ -> ())
+
 let create ~ids =
+  Lazy.force mask_sigpipe;
   let ids = Node_id.sorted ids in
   let fds = ref [] in
   let pair () =
@@ -72,35 +83,50 @@ let endpoint hub ~self =
   | Some (_, ep) -> ep
   | None -> invalid_arg "Transport_socket.endpoint: unknown node"
 
+(* Loop until the whole frame is on the wire: a kernel write is free to
+   accept a prefix, and EINTR/EAGAIN are retries, not lost bytes. EAGAIN
+   should not happen on a blocking fd, but backing off and retrying is
+   strictly safer than silently dropping the suffix of a frame. *)
 let rec write_all fd s off len =
-  if len > 0 then begin
-    let n =
-      try Unix.write_substring fd s off len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    write_all fd s (off + n) (len - n)
-  end
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (try Unix.sleepf 0.0002 with Unix.Unix_error _ -> ());
+        write_all fd s off len
 
 let send ep ~dst frame =
   match List.find_opt (fun p -> Node_id.equal p.p_id dst) ep.e_peers with
   | None -> () (* unknown destination: dropped at the edge, like the sim *)
-  | Some p ->
+  | Some p -> (
       let s = Frame.encode frame in
-      write_all p.p_send s 0 (String.length s)
+      try write_all p.p_send s 0 (String.length s)
+      with Unix.Unix_error (Unix.EPIPE, _, _) ->
+        failwith
+          (Printf.sprintf "Transport_socket.send: peer #%d is gone (EPIPE)"
+             (Node_id.to_int dst)))
 
 let drain_peer p =
   let buf = Bytes.create 4096 in
-  let frames = ref [] in
+  let chunks = ref [] in
   let continue = ref true in
   while !continue do
     match Unix.read p.p_recv buf 0 (Bytes.length buf) with
     | 0 -> continue := false
-    | n -> frames := !frames @ Frame.feed p.p_dec buf n
+    | n -> (
+        match Frame.feed p.p_dec buf n with
+        | Ok fs -> chunks := fs :: !chunks
+        | Error e ->
+            failwith
+              (Printf.sprintf "Transport_socket.drain: corrupt stream from #%d: %s"
+                 (Node_id.to_int p.p_id) e))
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         continue := false
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> continue := false
   done;
-  !frames
+  List.concat (List.rev !chunks)
 
 let drain ep = List.concat_map drain_peer ep.e_peers
 

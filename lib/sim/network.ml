@@ -259,21 +259,43 @@ module Make (P : Protocol.S) = struct
                 Ubpa_faults.recv_omission_prob t.faults ~node:dst
                   ~round:t.round
               in
-              if p <= 0. then inbox
-              else
-                List.filter
-                  (fun (src, payload) ->
-                    if Rng.float t.frng 1.0 < p then begin
-                      incr dropped;
-                      if Trace.enabled t.tr then
-                        Trace.recordf t.tr ~round:t.round ~node:dst
-                          ~kind:Trace.Fault
-                          "fault: recv-omission drop from %a: %a" Node_id.pp
-                          src P.pp_message payload;
-                      false
-                    end
-                    else true)
-                  inbox)
+              let inbox =
+                if p <= 0. then inbox
+                else
+                  List.filter
+                    (fun (src, payload) ->
+                      if Rng.float t.frng 1.0 < p then begin
+                        incr dropped;
+                        if Trace.enabled t.tr then
+                          Trace.recordf t.tr ~round:t.round ~node:dst
+                            ~kind:Trace.Fault
+                            "fault: recv-omission drop from %a: %a" Node_id.pp
+                            src P.pp_message payload;
+                        false
+                      end
+                      else true)
+                    inbox
+              in
+              (* A delayed envelope misses its delivery round; the
+                 synchronous engine has no late slot, so it is dropped.
+                 No randomness is drawn unless a delay window is active,
+                 keeping delay-free plans bit-reproducible. *)
+              match Ubpa_faults.delay_spec t.faults ~node:dst ~round:t.round with
+              | None -> inbox
+              | Some (dp, dr) ->
+                  List.filter
+                    (fun (src, payload) ->
+                      if Rng.float t.frng 1.0 < dp then begin
+                        incr dropped;
+                        if Trace.enabled t.tr then
+                          Trace.recordf t.tr ~round:t.round ~node:dst
+                            ~kind:Trace.Fault
+                            "fault: delay +%dr (missed its round) from %a: %a"
+                            dr Node_id.pp src P.pp_message payload;
+                        false
+                      end
+                      else true)
+                    inbox)
             inboxes
         in
         (inboxes, delivered - !dropped)

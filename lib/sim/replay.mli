@@ -15,6 +15,18 @@
     - {e send check} — the protocol instance driven by the runtime emitted
       exactly the sends the oracle's replayed state machine emits.
 
+    {b Delivered mode} ([~delivered:true]) relaxes the first two checks
+    for runs where injected wire faults or deadline timeouts legitimately
+    created holes: the recorded round may step a {e sub-population} (a
+    node that vanishes is treated as crashed from that round on, and
+    must stay gone), and each recorded inbox must be a {e sub-schedule}
+    — a subsequence — of what lockstep routing would have delivered.
+    Faults only ever remove deliveries, so an extra, altered or
+    reordered message is still a divergence; the protocol step then runs
+    on the {e recorded} inbox, making the oracle's verdict "the pure
+    state machines, fed exactly what the faulty wire delivered". The
+    send check stays exact in both modes.
+
     The returned outputs/decide rounds are the oracle's verdict; callers
     ({!Ubpa_harness.Runtime_exec}, bench RT1) additionally require them to
     equal the networked run's — decision equivalence is claim-gated, not
@@ -47,15 +59,24 @@ module Make (P : Protocol.S) : sig
     decide_rounds : (Node_id.t * int) list;
         (** First output round per node, ascending id. *)
     halted : (Node_id.t * int) list;
+    missing : (Node_id.t * int) list;
+        (** Delivered mode only: nodes that vanished from the schedule,
+            with the first round they were absent — the oracle's view of
+            crashed processes. Always empty in exact mode. *)
     rounds : int;
     wire : Ubpa_obs.Wire.t;
         (** Wire counters recorded at the oracle's accept points — totals
             and breakdowns comparable ({!Ubpa_obs.Wire.equal}) with the
-            runtime's own accounting and the simulator's. *)
+            runtime's own accounting and the simulator's. In delivered
+            mode they are recorded from the recorded inboxes (what the
+            wire actually handed the protocols), matching the runtime's
+            own accounting by construction of the same data. *)
   }
 
-  val replay : schedule -> outcome
-  (** Replay never raises on divergence: it reports, like a monitor. *)
+  val replay : ?delivered:bool -> schedule -> outcome
+  (** Replay never raises on divergence: it reports, like a monitor.
+      [delivered] (default false) switches from exact lockstep
+      equivalence to sub-schedule equivalence — see the module doc. *)
 
   val eq_dest : Envelope.dest -> Envelope.dest -> bool
 

@@ -156,6 +156,100 @@ let test_fault_events_traced () =
          e.round = 2 && e.node = Some victim && e.kind = Trace.Fault)
        faults_seen)
 
+(* ----- delay faults and the runtime-facing queries (PR 8) ----- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1))
+  in
+  go 0
+
+let test_delay_queries () =
+  let p =
+    F.make
+      [
+        (id 2, [ F.delay ~first:2 ~last:4 ~prob:0.5 ~rounds:2 () ]);
+        (id 3, [ F.crash ~at:3 () ]);
+      ]
+  in
+  check_true "delay active in window"
+    (F.delay_spec p ~node:(id 2) ~round:3 = Some (0.5, 2));
+  check_true "delay inactive after window"
+    (F.delay_spec p ~node:(id 2) ~round:5 = None);
+  check_true "delay inactive for other nodes"
+    (F.delay_spec p ~node:(id 3) ~round:3 = None);
+  check_false "plain crash plan has no recovery" (F.has_recovery p);
+  check_true "crash-recover detected"
+    (F.has_recovery (F.make [ (id 1, [ F.crash ~at:2 ~recover:4 () ]) ]));
+  check_true "crashes lists unrecovered crash and leave rounds"
+    (F.crashes
+       (F.make [ (id 1, [ F.crash ~at:2 () ]); (id 2, [ F.leave ~at:3 () ]) ])
+    = [ (id 1, 2); (id 2, 3) ]);
+  check_true "recovered crash is not a crash"
+    (F.crashes (F.make [ (id 1, [ F.crash ~at:2 ~recover:4 () ]) ]) = [])
+
+let test_delay_drops_in_sim () =
+  (* A delayed envelope misses its delivery round: the synchronous
+     engine has no late slot, so the receive edge drops it with a fault
+     trace event. Total delay on every node behaves like total loss. *)
+  let ids = population 4 in
+  let faults =
+    F.make
+      (List.map
+         (fun nid -> (nid, [ F.delay ~first:1 ~prob:1.0 ~rounds:1 () ]))
+         ids)
+  in
+  let trace = Trace.create () in
+  let net = consensus_net ~faults ~trace ~n:4 () in
+  (match Net.run ~max_rounds:10 net with
+  | `Max_rounds_reached _ -> ()
+  | `All_halted | `No_correct_nodes ->
+      Alcotest.fail "total delay must stall consensus");
+  check_true "delay fault events traced"
+    (List.exists
+       (fun (e : Trace.event) ->
+         e.kind = Trace.Fault && contains e.what "fault: delay")
+       (Trace.events trace))
+
+(* ----- the --faults spec DSL ----- *)
+
+let test_parse_spec () =
+  let ids = population 5 in
+  (match F.parse_spec ~ids "crash:1@3,delay:2@1..4=0.5x1,loss=0.05" with
+  | Error e -> Alcotest.failf "spec rejected: %s" e
+  | Ok plan ->
+      let sorted = Node_id.sorted ids in
+      let v1 = List.nth sorted 1 and v2 = List.nth sorted 2 in
+      check_false "plan not empty" (F.is_empty plan);
+      check_true "crash clause lands on index 1"
+        (F.status plan ~node:v1 ~round:3 = `Crashed);
+      check_true "delay clause lands on index 2"
+        (F.delay_spec plan ~node:v2 ~round:2 = Some (0.5, 1));
+      check_true "delay window closes"
+        (F.delay_spec plan ~node:v2 ~round:5 = None);
+      check_true "crashes query sees the crash" (F.crashes plan = [ (v1, 3) ]));
+  (match F.parse_spec ~ids "send-omit:0@2..3=0.5,recv-omit:4@1..=1.0,dup=0.1" with
+  | Error e -> Alcotest.failf "omission spec rejected: %s" e
+  | Ok plan ->
+      let sorted = Node_id.sorted ids in
+      check_true "send-omit window"
+        (F.send_omission_prob plan ~node:(List.nth sorted 0) ~round:2 = 0.5);
+      check_true "send-omit closes"
+        (F.send_omission_prob plan ~node:(List.nth sorted 0) ~round:4 = 0.);
+      check_true "open-ended recv-omit"
+        (F.recv_omission_prob plan ~node:(List.nth sorted 4) ~round:9 = 1.0));
+  let bad s =
+    match F.parse_spec ~ids s with Error _ -> true | Ok _ -> false
+  in
+  check_true "empty spec rejected" (bad "");
+  check_true "unknown clause rejected" (bad "explode:1@2");
+  check_true "out-of-range index rejected" (bad "crash:9@2");
+  check_true "prob > 1 rejected" (bad "loss=1.5");
+  check_true "inverted window rejected" (bad "recv-omit:1@4..2=0.5");
+  check_true "crash round 0 rejected" (bad "crash:1@0");
+  check_true "garbage rejected" (bad "crash:one@two")
+
 (* ----- the zero-cost guarantee ----- *)
 
 let jsonl_of_run ?faults () =
@@ -180,5 +274,8 @@ let suite =
       quick "one send-omitting node is tolerated" test_send_omission_tolerated;
       quick "total loss stalls with full stalled payload" test_total_loss_stalls;
       quick "injected faults are trace events" test_fault_events_traced;
+      quick "delay queries and recovery/crash listings" test_delay_queries;
+      quick "delayed envelopes drop at the receive edge" test_delay_drops_in_sim;
+      quick "--faults spec DSL parses and validates" test_parse_spec;
       quick "empty plan is byte-identical to no plan" test_empty_plan_is_no_plan;
     ] )

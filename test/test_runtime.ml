@@ -1,49 +1,71 @@
 (* The networked runtime against the lockstep simulator: frame codec
-   units, trace diffing, and PR-6-style differentials — the same
+   units (including hostile-header rejection), the deadline synchronizer
+   as pure state, trace diffing, PR-6-style differentials — the same
    protocol on concurrent per-node processes must produce byte-identical
    decide sets, trace events, wire counters and monitor verdicts as the
-   simulator, with the replay oracle catching any tampered schedule. On
-   sequential-only builds the differentials collapse to asserting the
-   graceful "runtime unavailable" error path. *)
+   simulator — and the fault-injection path, gated on graceful
+   degradation under the delivered-schedule oracle. The codec and
+   synchronizer tests run on any OCaml; on sequential-only builds the
+   differentials collapse to asserting the graceful "runtime
+   unavailable" error path. *)
 
 open Ubpa_util
 open Ubpa_sim
 open Helpers
 
 module Frame = Ubpa_runtime.Frame
+module Sync = Ubpa_runtime.Sync
 
 (* ----- frame codec ----- *)
 
-let frame ?(src = 3) ?(round = 2) body =
-  { Frame.src = Node_id.of_int src; round; body }
+let frame ?(src = 3) ?(round = 2) ?(kind = Frame.Data) body =
+  { Frame.src = Node_id.of_int src; round; kind; body }
+
+let decode_exn s =
+  match Frame.decode s with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let feed_exn d buf len =
+  match Frame.feed d buf len with
+  | Ok fs -> fs
+  | Error e -> Alcotest.failf "feed failed: %s" e
 
 let test_frame_roundtrip () =
   List.iter
     (fun body ->
       let f = frame body in
-      let d = Frame.decode (Frame.encode f) in
+      let d = decode_exn (Frame.encode f) in
       check_true "src" (Node_id.equal d.Frame.src f.Frame.src);
       check_int "round" f.Frame.round d.Frame.round;
+      check_true "kind" (d.Frame.kind = Frame.Data);
       Alcotest.(check string) "body" f.Frame.body d.Frame.body)
-    [ ""; "x"; String.make 5000 'q'; "\x00\xff\x01binary" ]
+    [ ""; "x"; String.make 5000 'q'; "\x00\xff\x01binary" ];
+  List.iter
+    (fun kind ->
+      let f = frame ~kind "" in
+      check_true "control kind survives"
+        ((decode_exn (Frame.encode f)).Frame.kind = kind))
+    [ Frame.Done; Frame.Halt ]
 
 let test_frame_decoder_incremental () =
   (* Three frames through the stream decoder one byte at a time: each
-     frame must complete exactly once, in order, with nothing left over. *)
-  let fs = [ frame "alpha"; frame ~src:9 ~round:7 ""; frame "omega" ] in
+     frame must complete exactly once, in order, with nothing left over.
+     The control marker in the middle must come out as a marker. *)
+  let fs =
+    [ frame "alpha"; frame ~src:9 ~round:7 ~kind:Frame.Done ""; frame "omega" ]
+  in
   let stream = String.concat "" (List.map Frame.encode fs) in
   let d = Frame.decoder () in
   let got = ref [] in
-  String.iter
-    (fun c ->
-      got := !got @ Frame.feed d (Bytes.make 1 c) 1)
-    stream;
+  String.iter (fun c -> got := !got @ feed_exn d (Bytes.make 1 c) 1) stream;
   check_int "frames" (List.length fs) (List.length !got);
   check_int "no leftover" 0 (Frame.pending_bytes d);
   List.iter2
     (fun (a : Frame.t) (b : Frame.t) ->
       check_true "src" (Node_id.equal a.Frame.src b.Frame.src);
       check_int "round" a.Frame.round b.Frame.round;
+      check_true "kind" (a.Frame.kind = b.Frame.kind);
       Alcotest.(check string) "body" a.Frame.body b.Frame.body)
     fs !got
 
@@ -51,7 +73,7 @@ let test_frame_decoder_batch () =
   let fs = List.init 10 (fun i -> frame ~src:i ~round:i (String.make i 'b')) in
   let stream = Bytes.of_string (String.concat "" (List.map Frame.encode fs)) in
   let d = Frame.decoder () in
-  let got = Frame.feed d stream (Bytes.length stream) in
+  let got = feed_exn d stream (Bytes.length stream) in
   check_int "all frames in one feed" 10 (List.length got);
   check_int "no leftover" 0 (Frame.pending_bytes d)
 
@@ -60,9 +82,180 @@ let test_frame_partial_pending () =
   let enc = Frame.encode f in
   let cut = String.length enc - 3 in
   let d = Frame.decoder () in
-  let got = Frame.feed d (Bytes.of_string (String.sub enc 0 cut)) cut in
+  let got = feed_exn d (Bytes.of_string (String.sub enc 0 cut)) cut in
   check_int "incomplete frame yields nothing" 0 (List.length got);
   check_int "bytes buffered" cut (Frame.pending_bytes d)
+
+(* A hostile or corrupt header must surface as a clean [Error] from both
+   decoders — never an unbounded allocation, an exception, or a decoder
+   buffering forever toward a body that will never arrive. *)
+
+let hostile_header ~len ~kind =
+  let b = Bytes.make Frame.header_bytes '\x00' in
+  Bytes.set_int32_be b 0 len;
+  Bytes.set_int64_be b 4 3L;
+  Bytes.set_int32_be b 12 2l;
+  Bytes.set b 16 (Char.chr kind);
+  b
+
+let rejected = function Error _ -> true | Ok _ -> false
+
+let test_frame_hostile_headers () =
+  let oversize =
+    hostile_header ~len:(Int32.of_int (Frame.max_body_bytes + 1)) ~kind:0
+  in
+  check_true "decode rejects oversized length"
+    (rejected (Frame.decode (Bytes.to_string oversize)));
+  let d = Frame.decoder () in
+  check_true "stream decoder rejects oversized length without buffering"
+    (rejected (Frame.feed d oversize (Bytes.length oversize)));
+  let negative = hostile_header ~len:(-1l) ~kind:0 in
+  check_true "decode rejects negative length"
+    (rejected (Frame.decode (Bytes.to_string negative)));
+  let d = Frame.decoder () in
+  check_true "stream decoder rejects negative length"
+    (rejected (Frame.feed d negative (Bytes.length negative)));
+  let bad_kind = hostile_header ~len:0l ~kind:9 in
+  check_true "decode rejects unknown kind"
+    (rejected (Frame.decode (Bytes.to_string bad_kind)));
+  let d = Frame.decoder () in
+  check_true "stream decoder rejects unknown kind"
+    (rejected (Frame.feed d bad_kind (Bytes.length bad_kind)));
+  check_true "decode rejects trailing bytes"
+    (rejected (Frame.decode (Frame.encode (frame "x") ^ "y")));
+  check_true "decode rejects short buffer" (rejected (Frame.decode "abc"));
+  check_true "encode refuses an oversized body"
+    (match Frame.encode (frame (String.make (Frame.max_body_bytes + 1) 'z')) with
+    | exception Invalid_argument _ -> true
+    | (_ : string) -> false);
+  (* The documented bound itself is fine: exactly max_body_bytes. *)
+  let full = frame (String.make Frame.max_body_bytes 'f') in
+  check_int "max-size body round-trips" Frame.max_body_bytes
+    (String.length (decode_exn (Frame.encode full)).Frame.body)
+
+(* ----- deadline synchronizer (pure state, runs on any OCaml) ----- *)
+
+let nid = Node_id.of_int
+let peers4 = [ nid 1; nid 2; nid 3; nid 4 ]
+
+let dframe ~src ~round body =
+  { Frame.src = nid src; round; kind = Frame.Data; body }
+
+let marker ?(kind = Frame.Done) ~src ~round () =
+  { Frame.src = nid src; round; kind; body = "" }
+
+let markers_from srcs ~round =
+  List.map (fun src -> marker ~src ~round ()) srcs
+
+let test_sync_fast_path () =
+  (* round_ms = 0: no deadline, the fast path is the only path. *)
+  let s = Sync.create ~peers:peers4 ~round_ms:0. ~dead_after:2 in
+  Sync.begin_round s ~round:1 ~now:0.;
+  check_true "nothing offered: waiting" (Sync.ready s ~now:1000. = None);
+  Sync.offer s [ dframe ~src:2 ~round:1 "m"; marker ~src:2 ~round:1 () ];
+  check_int "three peers still block" 3 (List.length (Sync.waiting_on s));
+  Sync.offer s (markers_from [ 1; 3; 4 ] ~round:1);
+  match Sync.ready s ~now:1000. with
+  | None -> Alcotest.fail "all markers in: round must complete"
+  | Some v ->
+      check_int "one data frame delivered" 1 (List.length v.Sync.v_inbox);
+      check_true "no missing peers" (v.Sync.v_missing = []);
+      check_true "no presumed-dead peers" (v.Sync.v_newly_dead = []);
+      check_int "no late frames" 0 (Sync.late_frames s)
+
+let test_sync_deadline_no_frames () =
+  let s = Sync.create ~peers:peers4 ~round_ms:1000. ~dead_after:3 in
+  Sync.begin_round s ~round:1 ~now:0.;
+  check_true "before the deadline: waiting" (Sync.ready s ~now:0.5 = None);
+  match Sync.ready s ~now:1.5 with
+  | None -> Alcotest.fail "deadline fired: must advance anyway"
+  | Some v ->
+      check_true "empty inbox" (v.Sync.v_inbox = []);
+      check_int "every peer reported missing" 4 (List.length v.Sync.v_missing)
+
+let test_sync_deadline_partial () =
+  let s = Sync.create ~peers:peers4 ~round_ms:1000. ~dead_after:3 in
+  Sync.begin_round s ~round:1 ~now:0.;
+  Sync.offer s
+    (dframe ~src:1 ~round:1 "a" :: markers_from [ 1; 2 ] ~round:1);
+  check_true "two markers of four: still waiting" (Sync.ready s ~now:0.9 = None);
+  match Sync.ready s ~now:1.1 with
+  | None -> Alcotest.fail "deadline must fire"
+  | Some v ->
+      check_int "on-time data delivered" 1 (List.length v.Sync.v_inbox);
+      check_true "missing = exactly the silent peers"
+        (List.map Node_id.to_int v.Sync.v_missing = [ 3; 4 ])
+
+let test_sync_late_frames_monotone () =
+  let s = Sync.create ~peers:peers4 ~round_ms:1000. ~dead_after:3 in
+  Sync.begin_round s ~round:1 ~now:0.;
+  ignore (Sync.ready s ~now:1.5);
+  Sync.begin_round s ~round:2 ~now:1.5;
+  check_int "no late frames yet" 0 (Sync.late_frames s);
+  Sync.offer s [ dframe ~src:3 ~round:1 "late" ];
+  check_int "round-1 data in round 2 is late" 1 (Sync.late_frames s);
+  Sync.offer s [ dframe ~src:4 ~round:1 "later" ];
+  check_int "late count is monotone" 2 (Sync.late_frames s);
+  check_int "late frames still count as data" 2 (Sync.data_frames s);
+  (match Sync.ready s ~now:2.6 with
+  | Some v -> check_true "late frames never deliver" (v.Sync.v_inbox = [])
+  | None -> Alcotest.fail "deadline must fire");
+  check_true "late-frame events recorded at the counting round"
+    (List.for_all
+       (fun (e : Sync.event) -> e.Sync.e_round = 2)
+       (Sync.events s)
+    && List.length (Sync.events s) = 2)
+
+let test_sync_dead_peer () =
+  let s = Sync.create ~peers:peers4 ~round_ms:1000. ~dead_after:2 in
+  let live = [ 1; 2; 3 ] in
+  (* Round 1: peer 4 silent, first missed deadline. *)
+  Sync.begin_round s ~round:1 ~now:0.;
+  Sync.offer s (markers_from live ~round:1);
+  (match Sync.ready s ~now:1.5 with
+  | Some v ->
+      check_true "one silent round is not death" (v.Sync.v_newly_dead = []);
+      check_true "but it is missing"
+        (List.map Node_id.to_int v.Sync.v_missing = [ 4 ])
+  | None -> Alcotest.fail "deadline must fire");
+  (* Round 2: silent again — crosses dead_after = 2. *)
+  Sync.begin_round s ~round:2 ~now:1.5;
+  Sync.offer s (markers_from live ~round:2);
+  (match Sync.ready s ~now:3. with
+  | Some v ->
+      check_true "presumed dead after two consecutive silent rounds"
+        (List.map Node_id.to_int v.Sync.v_newly_dead = [ 4 ])
+  | None -> Alcotest.fail "deadline must fire");
+  check_true "dead list updated"
+    (List.map Node_id.to_int (Sync.dead_peers s) = [ 4 ]);
+  check_true "death is a recorded event"
+    (List.exists
+       (fun (e : Sync.event) -> Node_id.equal e.Sync.e_peer (nid 4))
+       (Sync.events s));
+  (* Round 3: the dead peer no longer blocks — the live markers alone
+     complete the round on the fast path, well before the deadline. *)
+  Sync.begin_round s ~round:3 ~now:3.;
+  check_int "dead peer not awaited" 3 (List.length (Sync.waiting_on s));
+  Sync.offer s (markers_from live ~round:3);
+  match Sync.ready s ~now:3.1 with
+  | Some v -> check_true "fast path without the dead peer" (v.Sync.v_missing = [])
+  | None -> Alcotest.fail "a dead peer must not block the round"
+
+let test_sync_halt_excuses () =
+  let s = Sync.create ~peers:peers4 ~round_ms:0. ~dead_after:2 in
+  Sync.begin_round s ~round:1 ~now:0.;
+  Sync.offer s
+    (marker ~kind:Frame.Halt ~src:4 ~round:1 () :: markers_from [ 1; 2; 3 ] ~round:1);
+  (match Sync.ready s ~now:0. with
+  | Some v -> check_true "halt counts as the round's marker" (v.Sync.v_missing = [])
+  | None -> Alcotest.fail "halt marker must complete the round");
+  (* The farewell excuses the halted peer from every later round — even
+     with no deadline at all, the survivors' markers are enough. *)
+  Sync.begin_round s ~round:2 ~now:0.;
+  check_int "halted peer not awaited" 3 (List.length (Sync.waiting_on s));
+  Sync.offer s (markers_from [ 1; 2; 3 ] ~round:2);
+  check_true "round completes without the halted peer"
+    (Sync.ready s ~now:0. <> None)
 
 (* ----- trace diff ----- *)
 
@@ -201,10 +394,12 @@ let test_rb_differential () =
       [ `Domains; `Socket ]
 
 let test_round_ms_pacing () =
-  (* A non-zero round duration must not change behaviour, only pace it. *)
+  (* A real round deadline on a fault-free run must not change behaviour:
+     the marker fast path completes every round before the timer can
+     fire, so the exact-lockstep gate still holds. *)
   if Ec.RT.available then
-    assert_verdict "consensus domains round-ms=2"
-      (Ec.compare_with_sim ~transport:`Domains ~round_ms:2. ~max_rounds:40
+    assert_verdict "consensus domains round-ms=50"
+      (Ec.compare_with_sim ~transport:`Domains ~round_ms:50. ~max_rounds:40
          ~correct:(consensus_correct ~seed:1L 4) ())
 
 let test_decides_byte_identical () =
@@ -317,6 +512,126 @@ let test_oracle_catches_tampering () =
         | Some d -> check_int "flagged at round 2" 2 d.Ec.RT.Oracle.d_round
         | None -> Alcotest.fail "expected a divergence report"
 
+(* ----- fault injection: graceful degradation differentials ----- *)
+
+let plan_exn ~ids spec =
+  match Ubpa_faults.parse_spec ~ids spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad fault spec %s: %s" spec e
+
+let assert_fault_checks name (fv : Ec.fault_verdict) =
+  List.iter
+    (fun c ->
+      check_true
+        (Printf.sprintf "%s: %s%s" name c.Ec.c_name
+           (if c.Ec.c_ok then "" else " — " ^ c.Ec.c_detail))
+        c.Ec.c_ok)
+    fv.Ec.f_checks
+
+let fault_check_ok (fv : Ec.fault_verdict) name =
+  List.exists
+    (fun c -> String.equal c.Ec.c_name name && c.Ec.c_ok)
+    fv.Ec.f_checks
+
+let test_faulty_crash_degrades () =
+  (* One crash plus background loss, real deadline: the four survivors
+     must agree, decide, and replay clean through the delivered-schedule
+     oracle, with the victim on the crash ledger. *)
+  if Ec.RT.available then
+    let ids = Ubpa_harness.Harness.make_ids ~seed:1L 5 in
+    let plan = plan_exn ~ids "crash:1@3,loss=0.05" in
+    match
+      Ec.run_with_faults ~round_ms:60. ~max_rounds:40 ~faults:plan ~seed:7L
+        ~correct:(consensus_correct ~seed:1L 5) ()
+    with
+    | Error e -> Alcotest.failf "runtime error: %s" e
+    | Ok fv ->
+        assert_fault_checks "crash+loss" fv;
+        check_true "graceful degradation verdict" fv.Ec.f_ok;
+        check_int "four survivors" 4 (List.length fv.Ec.f_survivors)
+
+let test_faulty_same_seed_deterministic () =
+  (* Every fault decision derives from (seed, src, dst, direction): the
+     same plan and seed must reproduce the identical event stream and
+     injection counters on both transports — byte for byte. *)
+  if Ec.RT.available then begin
+    let ids = Ubpa_harness.Harness.make_ids ~seed:1L 5 in
+    let plan = plan_exn ~ids "loss=0.10" in
+    let go transport =
+      match
+        Ec.run_with_faults ~transport ~max_rounds:40 ~faults:plan ~seed:3L
+          ~correct:(consensus_correct ~seed:1L 5) ()
+      with
+      | Error e -> Alcotest.failf "runtime error: %s" e
+      | Ok fv ->
+          ( Trace.to_jsonl (Trace.of_events fv.Ec.f_run.Ec.RT.r_events),
+            fv.Ec.f_run.Ec.RT.r_injected )
+    in
+    let ja, ia = go `Domains in
+    let jb, ib = go `Domains in
+    Alcotest.(check string) "same seed, same transport: identical trace" ja jb;
+    let jc, ic = go `Socket in
+    Alcotest.(check string)
+      "domains and socket identical, faults included" ja jc;
+    check_true "injection counters identical" (ia = ib && ia = ic);
+    check_true "loss was actually injected"
+      (ia.Ubpa_runtime.Transport_faulty.inj_lost > 0)
+  end
+
+let test_faulty_beyond_budget_violates () =
+  (* Total receive-omission isolates one node: survivors stay safe and
+     decide, the victim starves — a liveness violation the gate must
+     report, not paper over. *)
+  if Ec.RT.available then
+    let ids = Ubpa_harness.Harness.make_ids ~seed:1L 4 in
+    let plan = plan_exn ~ids "recv-omit:1@1..12=1.0" in
+    match
+      Ec.run_with_faults ~max_rounds:12 ~faults:plan ~seed:1L
+        ~correct:(consensus_correct ~seed:1L 4) ()
+    with
+    | Error e -> Alcotest.failf "runtime error: %s" e
+    | Ok fv ->
+        check_false "isolation must be flagged as a violation" fv.Ec.f_ok;
+        check_true "safety stays green while liveness fails"
+          (fault_check_ok fv "monitors"
+          && fault_check_ok fv "survivor-agreement"
+          && fault_check_ok fv "crash-view"
+          && fault_check_ok fv "oracle-replay");
+        check_false "the starved node cannot decide"
+          (fault_check_ok fv "survivors-decide")
+
+(* ----- golden: the committed beyond-budget trace ----- *)
+
+(* `dune runtest` runs in the test directory, `dune exec` wherever the
+   caller stands — accept both. *)
+let baseline_rt2 =
+  if Sys.file_exists "../bench/baseline/TRACE_RT2.jsonl" then
+    "../bench/baseline/TRACE_RT2.jsonl"
+  else "bench/baseline/TRACE_RT2.jsonl"
+
+let test_committed_rt2_trace_golden () =
+  (* Re-run RT2's beyond-budget isolation cell with the bench's exact
+     parameters and require the recorded trace to match the committed
+     artifact byte for byte. *)
+  if Ec.RT.available then begin
+    let ic = open_in_bin baseline_rt2 in
+    let len = in_channel_length ic in
+    let committed = really_input_string ic len in
+    close_in ic;
+    let ids = Ubpa_harness.Harness.make_ids ~seed:1L 4 in
+    let plan = plan_exn ~ids "recv-omit:1@1..12=1.0" in
+    match
+      Ec.run_with_faults ~transport:`Domains ~max_rounds:12 ~faults:plan
+        ~seed:1L ~correct:(consensus_correct ~seed:1L 4) ()
+    with
+    | Error e -> Alcotest.failf "runtime error: %s" e
+    | Ok fv ->
+        Alcotest.(check string)
+          "fresh violation trace matches bench/baseline/TRACE_RT2.jsonl"
+          committed
+          (Trace.to_jsonl (Trace.of_events fv.Ec.f_run.Ec.RT.r_events))
+  end
+
 let suite =
   ( "runtime",
     [
@@ -324,6 +639,13 @@ let suite =
       quick "frame decoder byte-by-byte" test_frame_decoder_incremental;
       quick "frame decoder batch" test_frame_decoder_batch;
       quick "frame partial buffers" test_frame_partial_pending;
+      quick "frame hostile headers rejected" test_frame_hostile_headers;
+      quick "sync fast path" test_sync_fast_path;
+      quick "sync deadline with no frames" test_sync_deadline_no_frames;
+      quick "sync deadline with partial frames" test_sync_deadline_partial;
+      quick "sync late frames monotone" test_sync_late_frames_monotone;
+      quick "sync dead-peer detection" test_sync_dead_peer;
+      quick "sync halt excuses the peer" test_sync_halt_excuses;
       quick "trace diff identical" test_trace_diff_identical;
       quick "trace diff divergence" test_trace_diff_divergence;
       quick "trace diff prefix" test_trace_diff_prefix;
@@ -336,4 +658,8 @@ let suite =
       quick "decide sets byte-identical" test_decides_byte_identical;
       quick "monitor verdicts identical" test_monitor_verdicts_identical;
       quick "oracle catches tampering" test_oracle_catches_tampering;
+      quick "faulty crash degrades gracefully" test_faulty_crash_degrades;
+      quick "faulty runs are seed-deterministic" test_faulty_same_seed_deterministic;
+      quick "beyond-budget isolation violates" test_faulty_beyond_budget_violates;
+      quick "committed RT2 trace is reproducible" test_committed_rt2_trace_golden;
     ] )
