@@ -11,8 +11,8 @@ JOBS ?= 1
 UBPA_SEED ?= 7
 
 .PHONY: all build test bench bench-fast bench-csv bench-json bench-check \
-	bench-baseline bench-gate check check-full chaos runtime runtime-chaos \
-	fmt fmt-check linkcheck examples clean
+	bench-only bench-baseline bench-gate scale check check-full chaos \
+	runtime runtime-chaos fmt fmt-check linkcheck examples clean
 
 all: build
 
@@ -42,13 +42,36 @@ bench-check:
 		--jobs $(JOBS)
 	dune exec bin/bench_diff.exe -- --check-claims results/json-fast/
 
+# Selected experiments only, with the claim gate:
+# `make bench-only EXP=SCALE,RT3`.
+bench-only:
+	dune exec bench/main.exe -- --only $(EXP) --no-timing \
+		--json results/json-only/ --jobs $(JOBS)
+	dune exec bin/bench_diff.exe -- --check-claims results/json-only/
+
+# Engine v3 at scale: the full SCALE sweep — single-sender RB to
+# n=10,000 and consensus to n=301 (55M deliveries) under the arena
+# core, cross-core identity and flat-allocation claims gated.
+# ~5 min serial; the n=10,000 cell wants several GB of RAM (per-node
+# protocol state, not the delivery engine).
+scale:
+	dune exec bench/main.exe -- --only SCALE --no-timing \
+		--json results/json-scale/ --jobs $(JOBS)
+	dune exec bin/bench_diff.exe -- --check-claims results/json-scale/
+
 # Regenerate the committed refactor-gate baseline. PERF is excluded on
 # purpose: it races the two delivery cores head to head, so its timing
 # cells change run to run and can never be a determinism reference.
 # PERF2 is included on purpose: its digests are independent of machine,
 # --jobs, and pool backend, so the baseline pins executor determinism.
+# SCALE is re-run in full mode: its committed baseline carries the
+# n=10,000 rows that are the scaling evidence (CI's fast-mode exact diff
+# skips cell comparison when the fast flags differ; the claims still
+# gate), while timing/alloc cells everywhere are exempt from the exact
+# diff by column name (Diff.exact_exempt_columns).
 bench-baseline:
 	dune exec bench/main.exe -- --fast --no-timing --json bench/baseline/
+	dune exec bench/main.exe -- --only SCALE --no-timing --json bench/baseline/
 	rm -f bench/baseline/BENCH_PERF.json
 
 # The refactor gate CI runs: fast sweeps diffed cell-for-cell against

@@ -50,6 +50,7 @@ module Make (P : Protocol.S) : sig
   val create :
     ?rushing:bool ->
     ?delivery:Delivery.impl ->
+    ?wire_accounting:bool ->
     ?seed:int64 ->
     ?faults:Ubpa_faults.plan ->
     ?trace:Trace.t ->
@@ -76,6 +77,7 @@ module Make (P : Protocol.S) : sig
   val execute :
     ?rushing:bool ->
     ?delivery:Delivery.impl ->
+    ?wire_accounting:bool ->
     ?seed:int64 ->
     ?faults:Ubpa_faults.plan ->
     ?trace:Trace.t ->

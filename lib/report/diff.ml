@@ -68,9 +68,26 @@ let compare_metric ~experiment ~threshold name ~baseline ~candidate =
       }
   else None
 
+(* Columns whose cells are wall-clock or allocator measurements: their
+   values vary run to run, machine to machine and compiler to compiler, so
+   the refactor gate masks them. Behavioural statements about these cells
+   are claim-gated instead (SCALE.alloc-flat, RT3.under-deadline), and
+   claim regressions are always Failures. *)
+let exact_exempt_columns =
+  [
+    "elapsed";
+    "rounds/s";
+    "msgs/s";
+    "speedup";
+    "minor-w/msg";
+    "frames/s";
+    "avg-round-ms";
+    "under-deadline";
+  ]
+
 (* Exact mode: the refactor gate. The candidate table must be cell-for-cell
-   identical to the baseline — any drift in columns, row count, or any cell
-   is a Failure, regardless of thresholds. *)
+   identical to the baseline — any drift in columns, row count, or any
+   non-exempt cell is a Failure, regardless of thresholds. *)
 let exact_issues ~experiment (base : Artifact.t) (cand : Artifact.t) =
   if base.columns <> cand.columns then
     [
@@ -94,10 +111,17 @@ let exact_issues ~experiment (base : Artifact.t) (cand : Artifact.t) =
       };
     ]
   else
+    let exempt =
+      List.map (fun c -> List.mem c exact_exempt_columns) base.columns
+    in
+    let mask row =
+      if List.length row <> List.length exempt then row
+      else List.map2 (fun ex cell -> if ex then "-" else cell) exempt row
+    in
     List.concat
       (List.mapi
          (fun i (b_row, c_row) ->
-           if b_row = c_row then []
+           if mask b_row = mask c_row then []
            else
              [
                {
@@ -206,7 +230,21 @@ let compare_pair ~threshold ~time_threshold ~exact (base : Artifact.t)
              ~baseline:base.elapsed_ms ~candidate:cand.elapsed_ms)
     | Some _ -> []
   in
-  let exactness = if exact then exact_issues ~experiment base cand else [] in
+  let exactness =
+    if not exact then []
+    else if base.fast <> cand.fast then
+      (* A full-mode committed baseline (e.g. BENCH_SCALE.json with its
+         n=10,000 rows) cannot be cell-compared against a --fast smoke
+         run; the candidate's own claims still gate it. *)
+      [
+        {
+          experiment;
+          severity = Info;
+          message = "fast flags differ; exact cell comparison skipped";
+        };
+      ]
+    else exact_issues ~experiment base cand
+  in
   claim_regressions @ complexity_regressions @ metric_issues @ time_issues
   @ exactness
 

@@ -26,6 +26,10 @@ val check_claims : Artifact.t list -> issue list
     [Info] per artifact with an empty claims block (an experiment without
     machine-checked claims is suspicious but not fatal). *)
 
+val exact_exempt_columns : string list
+(** Table columns holding wall-clock / allocator measurements; their cells
+    are masked by the [exact] refactor gate. *)
+
 val compare :
   ?threshold:float ->
   ?time_threshold:float ->
@@ -41,6 +45,11 @@ val compare :
     (percent) additionally gates [elapsed_ms]. [exact] (default [false])
     is the refactor gate: for every experiment present in both sets, the
     candidate's columns and rows must be cell-for-cell identical to the
-    baseline's — any drift is a [Failure]. Only wall-clock [elapsed_ms]
-    stays exempt (it is metadata, not a table cell). Claims of the
-    candidate are checked unconditionally. *)
+    baseline's — any drift is a [Failure]. Wall-clock [elapsed_ms]
+    (metadata) and the measurement columns in {!exact_exempt_columns}
+    (elapsed / throughput / minor-words / deadline cells, which vary by
+    machine and compiler) stay exempt; behavioural statements about those
+    cells are claim-gated instead. When the [fast] flags differ — a
+    full-mode committed baseline against a [--fast] smoke run — the cell
+    comparison is skipped with an [Info] note. Claims of the candidate
+    are checked unconditionally. *)

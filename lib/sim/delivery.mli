@@ -1,6 +1,6 @@
 (** Per-round message delivery cores.
 
-    Both cores implement the same delivery contract over one round's worth
+    Every core implements the same delivery contract over one round's worth
     of envelopes:
 
     - only nodes in [present] receive anything;
@@ -13,14 +13,20 @@
 
     {!route_reference} is the seed engine's list-scan implementation, kept
     verbatim as an executable specification: the differential test replays
-    randomized traffic through both cores, and the PERF experiment races
+    randomized traffic through the cores, and the PERF experiment races
     them head to head. {!route_indexed} is engine v2 — single pass over the
     envelopes with hash-keyed dedup, plus sender-level suppression of
-    repeated broadcast envelopes before fan-out. *)
+    repeated broadcast envelopes before fan-out. {!route_arena} is engine
+    v3 — a grow-only flat-arena state reused across rounds, broadcasts kept
+    as single logical records expanded lazily at read time, built for the
+    n ≈ 10,000 SCALE sweeps. *)
 
 open Ubpa_util
 
-type impl = Indexed  (** Engine v2 (default). *) | Naive  (** Seed engine. *)
+type impl =
+  | Indexed  (** Engine v2 (default). *)
+  | Naive  (** Seed engine. *)
+  | Arena  (** Engine v3: arena state, lazy broadcast expansion. *)
 
 type 'm on_deliver = recipient:Node_id.t -> src:Node_id.t -> 'm -> unit
 (** Delivery-accounting hook. Every core invokes it at its accept point —
@@ -62,6 +68,55 @@ val route_reference :
     {!route_indexed} — including the [on_deliver] multiset, which is what
     the CX1 cross-core wire-identity claim checks. *)
 
+type 'm arena_state
+(** Engine v3 round state: interner, presence stamps, flat record arenas
+    and CSR inbox slices, all grow-only and reused across rounds. Create
+    one per network and feed it every round through {!route_arena}; a
+    steady-state round allocates only the inbox lists actually read. *)
+
+val arena_create : ?hint:int -> unit -> 'm arena_state
+(** Fresh arena state. [hint] sizes the interner and backing arrays to
+    the expected participant count. *)
+
+type 'm view
+(** One routed round, borrowed from an {!arena_state}: valid until the
+    state's next {!route_arena} call. Inboxes are expanded on demand from
+    broadcast records and unicast slices — reading is the only per-inbox
+    allocation. *)
+
+val route_arena :
+  ?on_deliver:'m on_deliver ->
+  state:'m arena_state ->
+  equal:('m -> 'm -> bool) ->
+  present:Node_id.Set.t ->
+  envelopes:'m Envelope.t list ->
+  unit ->
+  'm view
+(** Engine v3 entry point. Scans [envelopes] once (dedup decisions and
+    [on_deliver] fire here, at the accept points), seals unicasts into
+    per-recipient CSR slices, and returns the round's read view. A
+    broadcast is accepted as one record and charged [|present|] minus its
+    exclusions to the delivered count without fanning out; when
+    [on_deliver] is present it is still invoked once per (non-excluded)
+    present recipient so wire accounting sees the fan-out multiset. *)
+
+val view_delivered : 'm view -> int
+(** Total deliveries this round — same number the other cores return. *)
+
+val view_inbox : 'm view -> Node_id.t -> (Node_id.t * 'm) list
+(** [view_inbox v id] expands [id]'s inbox: a merge of the broadcast
+    records (minus exclusions) with [id]'s unicast slice, sorted by
+    (sender id, send order) exactly like the other cores' inboxes.
+    Empty for absent or unknown recipients. *)
+
+val view_present : 'm view -> Node_id.t list
+(** The round's present set in ascending id order. *)
+
+val view_to_map : 'm view -> (Node_id.t * 'm) list Node_id.Map.t
+(** Materialise every present inbox — the bridge back to the map-shaped
+    contract, used by the generic {!route} dispatch and the differential
+    tests. Costs the full fan-out the lazy representation avoids. *)
+
 val route :
   ?on_deliver:'m on_deliver ->
   interner:Interner.t option ->
@@ -72,4 +127,6 @@ val route :
   unit ->
   (Node_id.t * 'm) list Node_id.Map.t * int
 (** Dispatch on [impl]. [interner] only affects the [Indexed] core; the
-    reference core stays the untouched executable specification. *)
+    reference core stays the untouched executable specification. [Arena]
+    routes through an ephemeral {!arena_state} and materialises the map —
+    use {!route_arena} directly to get the cross-round reuse. *)

@@ -29,9 +29,21 @@ module Make (P : Protocol.S) = struct
     | Join_correct of Node_id.t * P.input
     | Join_byzantine of Node_id.t * P.message Strategy.t
 
+  (* One routed round as the stepping loop consumes it. [Mapped] is the
+     historical shape (and the one fault filters rewrite); [Sliced] is the
+     engine-v3 cursor view, where each inbox stays a lazy (offset, length)
+     slice into the arena until the owning node is actually stepped — no
+     per-round Node_id.Map is ever built. *)
+  type inboxes =
+    | Mapped of (Node_id.t * P.message) list Node_id.Map.t
+    | Sliced of P.message Delivery.view
+
   type t = {
     rushing : bool;
     delivery : Delivery.impl;
+    wire_accounting : bool;
+    arena : P.message Delivery.arena_state option;
+        (* engine-v3 cross-round state, allocated iff delivery = Arena *)
     rng : Rng.t;
     faults : Ubpa_faults.plan;
     frng : Rng.t;
@@ -59,13 +71,18 @@ module Make (P : Protocol.S) = struct
   let no_stimulus ~round:_ _ = []
 
   let create ?(rushing = true) ?(delivery = Delivery.Indexed)
-      ?(seed = 0xbadc0ffeeL) ?(faults = Ubpa_faults.empty)
-      ?(trace = Trace.disabled) ?classify ?(stimulus = no_stimulus) ~correct
-      ~byzantine () =
+      ?(wire_accounting = true) ?(seed = 0xbadc0ffeeL)
+      ?(faults = Ubpa_faults.empty) ?(trace = Trace.disabled) ?classify
+      ?(stimulus = no_stimulus) ~correct ~byzantine () =
     let t =
       {
         rushing;
         delivery;
+        wire_accounting;
+        arena =
+          (match delivery with
+          | Delivery.Arena -> Some (Delivery.arena_create ())
+          | _ -> None);
         rng = Rng.create seed;
         faults;
         frng = Rng.create (Int64.logxor seed 0x6661756c745eedL);
@@ -187,7 +204,7 @@ module Make (P : Protocol.S) = struct
      from recipient to its inbox sorted by sender id. Duplicate
      (sender, payload) pairs for the same recipient are dropped, with payload
      equality decided by [P.equal_message]. *)
-  let deliver t ~present =
+  let rec deliver t ~present =
     let faulty = not (Ubpa_faults.is_empty t.faults) in
     let envelopes = List.rev t.pending in
     (* Link-level faults happen before routing: per-envelope loss drops the
@@ -236,21 +253,61 @@ module Make (P : Protocol.S) = struct
     let kind_of =
       match t.classify with Some f -> f | None -> fun _ -> "msg"
     in
-    let on_deliver ~recipient ~src:_ payload =
-      let bits = P.encoded_bits payload in
-      Ubpa_obs.Wire.record t.wire ~round:t.round ~recipient
-        ~kind:(kind_of payload) ~bits;
-      Metrics.record_wire t.metrics ~round:t.round ~bits
+    (* [?wire_accounting:false] disables the hook entirely: at n ≈ 10,000
+       the per-delivery hash updates dominate the round, and the SCALE
+       sweeps measure the engine, not the observer. With the hook off the
+       arena core never fans a broadcast out at all. *)
+    let on_deliver =
+      if not t.wire_accounting then None
+      else
+        Some
+          (fun ~recipient ~src:_ payload ->
+            let bits = P.encoded_bits payload in
+            Ubpa_obs.Wire.record t.wire ~round:t.round ~recipient
+              ~kind:(kind_of payload) ~bits;
+            Metrics.record_wire t.metrics ~round:t.round ~bits)
     in
     let inboxes, delivered =
-      Delivery.route ~on_deliver ~interner:(Some t.intr) ~impl:t.delivery
-        ~equal:P.equal_message ~present ~envelopes ()
+      match t.arena with
+      | Some state when not faulty ->
+          (* Cursor fast path: scan + seal, no map, no fan-out. Inboxes
+             are expanded one node at a time as the step loop reads them.
+             Fault plans fall through to the map path below so the
+             post-route filters (and their [frng] draw order) stay
+             byte-identical with the other cores. *)
+          let view =
+            Delivery.route_arena ?on_deliver ~state ~equal:P.equal_message
+              ~present ~envelopes ()
+          in
+          (Sliced view, Delivery.view_delivered view)
+      | Some state ->
+          let view =
+            Delivery.route_arena ?on_deliver ~state ~equal:P.equal_message
+              ~present ~envelopes ()
+          in
+          (Mapped (Delivery.view_to_map view), Delivery.view_delivered view)
+      | None ->
+          let inboxes, delivered =
+            Delivery.route ?on_deliver ~interner:(Some t.intr)
+              ~impl:t.delivery ~equal:P.equal_message ~present ~envelopes ()
+          in
+          (Mapped inboxes, delivered)
     in
     (* Receive-omission is per recipient, after routing: a broadcast may be
        lost at one victim and arrive everywhere else. *)
     let inboxes, delivered =
       if not faulty then (inboxes, delivered)
-      else begin
+      else
+        match inboxes with
+        | Sliced _ -> (inboxes, delivered) (* unreachable: faulty => Mapped *)
+        | Mapped mapped ->
+            let mapped, delivered = fault_filter t mapped delivered in
+            (Mapped mapped, delivered)
+    in
+    Metrics.record_delivered t.metrics ~round:t.round delivered;
+    inboxes
+
+  and fault_filter t inboxes delivered =
         let dropped = ref 0 in
         let inboxes =
           Node_id.Map.mapi
@@ -299,10 +356,6 @@ module Make (P : Protocol.S) = struct
             inboxes
         in
         (inboxes, delivered - !dropped)
-      end
-    in
-    Metrics.record_delivered t.metrics ~round:t.round delivered;
-    inboxes
 
   let step_round_untimed t =
     t.round <- t.round + 1;
@@ -316,7 +369,10 @@ module Make (P : Protocol.S) = struct
     in
     let inboxes = deliver t ~present in
     let inbox_of id =
-      match Node_id.Map.find_opt id inboxes with Some l -> l | None -> []
+      match inboxes with
+      | Mapped m -> (
+          match Node_id.Map.find_opt id m with Some l -> l | None -> [])
+      | Sliced view -> Delivery.view_inbox view id
     in
     (* Correct nodes first (their sends feed the rushing adversary). *)
     let correct_sends = ref [] in

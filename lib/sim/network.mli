@@ -34,6 +34,7 @@ module Make (P : Protocol.S) : sig
   val create :
     ?rushing:bool ->
     ?delivery:Delivery.impl ->
+    ?wire_accounting:bool ->
     ?seed:int64 ->
     ?faults:Ubpa_faults.plan ->
     ?trace:Trace.t ->
@@ -47,7 +48,14 @@ module Make (P : Protocol.S) : sig
       both lists. [delivery] selects the delivery core (default
       {!Delivery.Indexed}; {!Delivery.Naive} keeps the seed engine's
       list-scan core — same results, slower — for differential testing and
-      head-to-head benchmarks). [faults] (default {!Ubpa_faults.empty})
+      head-to-head benchmarks; {!Delivery.Arena} is the engine-v3 arena
+      core, which feeds the round loop through lazy inbox slices instead
+      of a per-round map when the fault plan is empty).
+      [wire_accounting] (default [true]) controls the per-delivery
+      {!Ubpa_obs.Wire} hook; switching it off leaves {!wire} empty and
+      lets the arena core keep broadcasts O(1) instead of fanning out for
+      the observer — the n ≈ 10,000 SCALE sweeps run with it off.
+      [faults] (default {!Ubpa_faults.empty})
       injects benign faults into correct nodes at the delivery boundary:
       crashed/left nodes are absent from the present set (they neither
       step nor receive, state kept for recovery), send/receive omission

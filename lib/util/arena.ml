@@ -1,0 +1,49 @@
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ?(hint = 16) ~dummy () =
+  { data = Array.make (max hint 1) dummy; len = 0; dummy }
+
+let length t = t.len
+let capacity t = Array.length t.data
+let clear t = t.len <- 0
+
+let reset t =
+  if t.len > 0 then Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0
+
+let ensure t cap =
+  let old = Array.length t.data in
+  if cap > old then begin
+    let data = Array.make (max cap (2 * old)) t.dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t x =
+  ensure t (t.len + 1);
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Arena.get: index %d out of 0..%d" i (t.len - 1));
+  Array.unsafe_get t.data i
+
+let set t i x =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Arena.set: index %d out of 0..%d" i (t.len - 1));
+  Array.unsafe_set t.data i x
+
+let unsafe_get t i = Array.unsafe_get t.data i
+
+let iteri t f =
+  for i = 0 to t.len - 1 do
+    f i (Array.unsafe_get t.data i)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (Array.unsafe_get t.data i)
+  done;
+  !acc

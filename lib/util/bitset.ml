@@ -25,6 +25,10 @@ let add t ix =
 let count t = t.count
 let copy t = { bits = Bytes.copy t.bits; count = t.count }
 
+let clear t =
+  if t.count > 0 then Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.count <- 0
+
 let fold t ~init ~f =
   let acc = ref init in
   for ix = 0 to (8 * Bytes.length t.bits) - 1 do

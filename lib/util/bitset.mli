@@ -23,5 +23,9 @@ val count : t -> int
 val copy : t -> t
 (** Independent snapshot of the set. *)
 
+val clear : t -> unit
+(** Remove every member, keeping the backing bytes at their grown size —
+    the round-reuse primitive of the arena delivery core. *)
+
 val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
 (** Fold over the member indices in ascending order. *)

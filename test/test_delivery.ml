@@ -1,10 +1,12 @@
-(* Engine v2 delivery core: differential tests against the seed core.
+(* Delivery cores: differential tests against the seed core.
 
    [Delivery.route_reference] is the seed engine's list-scan delivery kept
    verbatim as an executable specification; these tests replay randomized
-   traffic through it and [Delivery.route_indexed] and require bit-for-bit
-   identical inboxes and delivery counts, then repeat the comparison at the
-   network level with full protocol runs under both cores. *)
+   traffic through it, [Delivery.route_indexed] (engine v2, sparse and
+   dense) and [Delivery.route_arena] (engine v3) and require bit-for-bit
+   identical inboxes, delivery counts and wire counters, then repeat the
+   comparison at the network level with full protocol runs under all
+   cores. *)
 
 open Ubpa_util
 open Ubpa_sim
@@ -41,24 +43,72 @@ let random_traffic rng =
   in
   (present, envelopes)
 
+let same_inboxes a b =
+  Node_id.Map.equal
+    (fun a b ->
+      List.length a = List.length b
+      && List.for_all2
+           (fun (s1, p1) (s2, p2) -> Node_id.equal s1 s2 && p1 = p2)
+           a b)
+    a b
+
+(* Run one core with a wire observer attached at its accept point; the
+   [Wire.equal] comparison below is multiset-shaped (per round, recipient
+   and kind), which is exactly the cross-core guarantee — cores may visit
+   a broadcast's recipients in different orders. *)
+let with_wire core ~present ~envelopes =
+  let wire = Ubpa_obs.Wire.create () in
+  let on_deliver ~recipient ~src:_ payload =
+    Ubpa_obs.Wire.record wire ~round:1 ~recipient ~kind:"m"
+      ~bits:(16 + (8 * payload))
+  in
+  let inboxes, count = core ~on_deliver ~present ~envelopes in
+  (inboxes, count, wire)
+
+let cores :
+    (string
+    * (on_deliver:int Delivery.on_deliver ->
+      present:Node_id.Set.t ->
+      envelopes:int Envelope.t list ->
+      (Node_id.t * int) list Node_id.Map.t * int))
+    list =
+  [
+    ( "indexed-sparse",
+      fun ~on_deliver ~present ~envelopes ->
+        Delivery.route_indexed ~on_deliver ~interner:None ~equal:Int.equal
+          ~present ~envelopes () );
+    ( "indexed-dense",
+      fun ~on_deliver ~present ~envelopes ->
+        Delivery.route_indexed ~on_deliver
+          ~interner:(Some (Interner.create ()))
+          ~equal:Int.equal ~present ~envelopes () );
+    ( "arena",
+      fun ~on_deliver ~present ~envelopes ->
+        Delivery.route ~on_deliver ~interner:None ~impl:Delivery.Arena
+          ~equal:Int.equal ~present ~envelopes () );
+  ]
+
 let check_same ~present ~envelopes =
-  let ref_inboxes, ref_count =
-    Delivery.route_reference ~equal:Int.equal ~present ~envelopes ()
+  let ref_inboxes, ref_count, ref_wire =
+    with_wire
+      (fun ~on_deliver ~present ~envelopes ->
+        Delivery.route_reference ~on_deliver ~equal:Int.equal ~present
+          ~envelopes ())
+      ~present ~envelopes
   in
-  let idx_inboxes, idx_count =
-    Delivery.route_indexed ~interner:None ~equal:Int.equal ~present ~envelopes
-      ()
-  in
-  Alcotest.(check int) "delivered count" ref_count idx_count;
-  Alcotest.(check bool)
-    "inboxes identical" true
-    (Node_id.Map.equal
-       (fun a b ->
-         List.length a = List.length b
-         && List.for_all2
-              (fun (s1, p1) (s2, p2) -> Node_id.equal s1 s2 && p1 = p2)
-              a b)
-       ref_inboxes idx_inboxes)
+  List.iter
+    (fun (name, core) ->
+      let inboxes, count, wire = with_wire core ~present ~envelopes in
+      Alcotest.(check int) (name ^ ": delivered count") ref_count count;
+      Alcotest.(check bool)
+        (name ^ ": inboxes identical")
+        true
+        (same_inboxes ref_inboxes inboxes);
+      Alcotest.(check bool)
+        (name ^ ": wire counters identical")
+        true
+        (Ubpa_obs.Wire.equal ref_wire wire))
+    cores
 
 let test_differential_random () =
   let rng = Rng.create 0xD311FEA7L in
@@ -114,6 +164,106 @@ let test_inbox_order () =
        (fun (s, p) -> (Node_id.to_int s, p))
        (Node_id.Map.find (id 0) inboxes))
 
+(* ----- engine v3: reused arena state and lazy views ----- *)
+
+(* The arena state is the whole point of engine v3: one grow-only
+   structure fed round after round, presence changing under it, with every
+   round's view still matching the reference core on fresh state. This is
+   the test that would catch stale-round leakage (marks, slices or dedup
+   tables surviving a clear). *)
+let test_arena_state_reuse () =
+  let rng = Rng.create 0xA7E4A57A7EL in
+  let state : int Delivery.arena_state = Delivery.arena_create ~hint:4 () in
+  for _ = 1 to 200 do
+    let present, envelopes = random_traffic rng in
+    let ref_inboxes, ref_count =
+      Delivery.route_reference ~equal:Int.equal ~present ~envelopes ()
+    in
+    let view =
+      Delivery.route_arena ~state ~equal:Int.equal ~present ~envelopes ()
+    in
+    Alcotest.(check int)
+      "reused state: delivered" ref_count
+      (Delivery.view_delivered view);
+    Alcotest.(check bool)
+      "reused state: inboxes" true
+      (same_inboxes ref_inboxes (Delivery.view_to_map view));
+    (* Lazy reads agree with the materialised map, including nodes that
+       are unknown or absent this round. *)
+    Node_id.Map.iter
+      (fun nid inbox ->
+        Alcotest.(check (list (pair int int)))
+          "view_inbox = map entry"
+          (List.map (fun (s, p) -> (Node_id.to_int s, p)) inbox)
+          (List.map
+             (fun (s, p) -> (Node_id.to_int s, p))
+             (Delivery.view_inbox view nid)))
+      ref_inboxes;
+    Alcotest.(check (list (pair int int)))
+      "unknown recipient reads empty" []
+      (List.map
+         (fun (s, p) -> (Node_id.to_int s, p))
+         (Delivery.view_inbox view (id 99)));
+    Alcotest.(check bool)
+      "view_present = present set" true
+      (Node_id.Set.equal present
+         (Node_id.Set.of_list (Delivery.view_present view)))
+  done
+
+(* QCheck differential: structured random batches — unicasts, broadcasts,
+   back-to-back duplicates, absent recipients, absent senders — through
+   the arena core against both the reference and the indexed cores. *)
+let gen_batch =
+  QCheck2.Gen.(
+    let* universe = int_range 2 9 in
+    let* present_mask = array_size (pure universe) bool in
+    let* msgs =
+      list_size (int_bound 50)
+        (triple (int_bound universe)
+           (option (int_bound universe))
+           (int_bound 4))
+    in
+    pure (universe, present_mask, msgs))
+
+let prop_arena_differential =
+  QCheck2.Test.make ~count:300
+    ~name:"arena vs reference vs indexed on random envelope batches"
+    gen_batch
+    (fun (universe, present_mask, msgs) ->
+      let present =
+        List.init universe Fun.id
+        |> List.filter (fun i -> present_mask.(i))
+        |> List.map id |> Node_id.Set.of_list
+      in
+      let envelopes =
+        List.concat
+          (List.mapi
+             (fun i (src, dst, payload) ->
+               let env =
+                 match dst with
+                 | None -> Envelope.broadcast ~src:(id src) payload
+                 | Some d -> Envelope.send ~src:(id src) ~dst:(id d) payload
+               in
+               (* Every third envelope is sent twice back to back, so the
+                  dedup paths are always exercised. *)
+               if i mod 3 = 0 then [ env; env ] else [ env ])
+             msgs)
+      in
+      let ref_inboxes, ref_count, ref_wire =
+        with_wire
+          (fun ~on_deliver ~present ~envelopes ->
+            Delivery.route_reference ~on_deliver ~equal:Int.equal ~present
+              ~envelopes ())
+          ~present ~envelopes
+      in
+      List.for_all
+        (fun (_, core) ->
+          let inboxes, count, wire = with_wire core ~present ~envelopes in
+          count = ref_count
+          && same_inboxes ref_inboxes inboxes
+          && Ubpa_obs.Wire.equal ref_wire wire)
+        cores)
+
 (* ----- full protocol runs under both engines ----- *)
 
 module C = Unknown_ba.Consensus.Make (Unknown_ba.Value.Int)
@@ -137,13 +287,52 @@ let consensus_run ~delivery =
 let test_engine_equivalence () =
   let f1, r1, d1, o1 = consensus_run ~delivery:Delivery.Indexed in
   let f2, r2, d2, o2 = consensus_run ~delivery:Delivery.Naive in
-  Alcotest.(check bool) "both halted" true (f1 = `All_halted && f2 = `All_halted);
+  let f3, r3, d3, o3 = consensus_run ~delivery:Delivery.Arena in
+  Alcotest.(check bool)
+    "all halted" true
+    (f1 = `All_halted && f2 = `All_halted && f3 = `All_halted);
   Alcotest.(check int) "same rounds" r2 r1;
   Alcotest.(check int) "same deliveries" d2 d1;
   Alcotest.(check (list (pair int int)))
     "same decisions"
     (List.map (fun (nid, v) -> (Node_id.to_int nid, v)) o2)
-    (List.map (fun (nid, v) -> (Node_id.to_int nid, v)) o1)
+    (List.map (fun (nid, v) -> (Node_id.to_int nid, v)) o1);
+  Alcotest.(check int) "arena: same rounds" r2 r3;
+  Alcotest.(check int) "arena: same deliveries" d2 d3;
+  Alcotest.(check (list (pair int int)))
+    "arena: same decisions"
+    (List.map (fun (nid, v) -> (Node_id.to_int nid, v)) o2)
+    (List.map (fun (nid, v) -> (Node_id.to_int nid, v)) o3)
+
+(* [wire_accounting:false] must change what is observed, never what
+   happens: same run, empty wire log, delivered metrics intact. *)
+let test_wire_accounting_off () =
+  let run ~delivery ~wire_accounting =
+    let ids = Node_id.scatter ~seed:41L 10 in
+    let correct_ids = List.filteri (fun i _ -> i < 8) ids in
+    let byz_ids = List.filteri (fun i _ -> i >= 8) ids in
+    let net =
+      Net.create ~delivery ~wire_accounting
+        ~correct:(List.mapi (fun i nid -> (nid, i mod 2)) correct_ids)
+        ~byzantine:(List.map (fun nid -> (nid, A.split_world 0 1)) byz_ids)
+        ()
+    in
+    ignore (Net.run ~max_rounds:300 net);
+    ( Net.round net,
+      Metrics.delivered (Net.metrics net),
+      Ubpa_obs.Wire.messages (Net.wire net),
+      Net.outputs net )
+  in
+  List.iter
+    (fun delivery ->
+      let r_on, d_on, w_on, o_on = run ~delivery ~wire_accounting:true in
+      let r_off, d_off, w_off, o_off = run ~delivery ~wire_accounting:false in
+      Alcotest.(check int) "same rounds" r_on r_off;
+      Alcotest.(check int) "same delivered metric" d_on d_off;
+      Alcotest.(check bool) "wire recorded when on" true (w_on > 0);
+      Alcotest.(check int) "wire silent when off" 0 w_off;
+      Alcotest.(check bool) "same outputs" true (o_on = o_off))
+    [ Delivery.Indexed; Delivery.Arena ]
 
 (* ----- trace-level determinism across cores ----- *)
 
@@ -166,10 +355,13 @@ let traced_jsonl ~delivery ?faults () =
   Trace.to_jsonl trace
 
 let test_trace_determinism () =
+  let reference = traced_jsonl ~delivery:Delivery.Naive () in
   Alcotest.(check string)
-    "no faults: byte-identical JSONL"
-    (traced_jsonl ~delivery:Delivery.Naive ())
+    "no faults: byte-identical JSONL" reference
     (traced_jsonl ~delivery:Delivery.Indexed ());
+  Alcotest.(check string)
+    "no faults: arena byte-identical JSONL" reference
+    (traced_jsonl ~delivery:Delivery.Arena ());
   let ids = Node_id.scatter ~seed:41L 10 in
   let faults =
     Ubpa_faults.make ~loss:0.15 ~dup:0.1
@@ -181,10 +373,16 @@ let test_trace_determinism () =
           [ Ubpa_faults.recv_omission ~first:2 ~last:8 ~prob:0.5 () ] );
       ]
   in
+  let reference = traced_jsonl ~delivery:Delivery.Naive ~faults () in
   Alcotest.(check string)
-    "fault plan: byte-identical JSONL"
-    (traced_jsonl ~delivery:Delivery.Naive ~faults ())
-    (traced_jsonl ~delivery:Delivery.Indexed ~faults ())
+    "fault plan: byte-identical JSONL" reference
+    (traced_jsonl ~delivery:Delivery.Indexed ~faults ());
+  (* Fault plans push the arena core onto the materialised-map path, so
+     the post-route filters draw from the fault stream in the exact same
+     order — the trace must stay byte-identical there too. *)
+  Alcotest.(check string)
+    "fault plan: arena byte-identical JSONL" reference
+    (traced_jsonl ~delivery:Delivery.Arena ~faults ())
 
 (* ----- zero-correct-node networks ----- *)
 
@@ -235,8 +433,12 @@ let suite =
       Alcotest.test_case "differential: adversarial dedup cases" `Quick
         test_differential_adversarial;
       Alcotest.test_case "inbox ordering" `Quick test_inbox_order;
+      Alcotest.test_case "arena: reused state matches reference" `Quick
+        test_arena_state_reuse;
       Alcotest.test_case "engine equivalence: full consensus run" `Quick
         test_engine_equivalence;
+      Alcotest.test_case "wire accounting off: same run, silent wire" `Quick
+        test_wire_accounting_off;
       Alcotest.test_case "trace determinism across cores (with faults)" `Quick
         test_trace_determinism;
       Alcotest.test_case "run on zero-correct network" `Quick
@@ -244,4 +446,5 @@ let suite =
       Alcotest.test_case "queued correct join is not vacuous" `Quick
         test_queued_join_still_runs;
       Alcotest.test_case "clock shim is monotonic" `Quick test_clock_monotonic;
-    ] )
+    ]
+    @ Helpers.qcheck_cases [ prop_arena_differential ] )

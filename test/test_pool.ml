@@ -158,6 +158,57 @@ let test_bitset_basics () =
   Alcotest.check_raises "negative index"
     (Invalid_argument "Bitset.add: negative index") (fun () -> Bitset.add b (-1))
 
+let test_bitset_clear () =
+  let b = Bitset.create ~hint:4 () in
+  Bitset.clear b;
+  check_int "clear on empty" 0 (Bitset.count b);
+  List.iter (Bitset.add b) [ 0; 7; 512 ];
+  Bitset.clear b;
+  check_int "count after clear" 0 (Bitset.count b);
+  check_false "mem 0 after clear" (Bitset.mem b 0);
+  check_false "mem 512 after clear" (Bitset.mem b 512);
+  (* The grown capacity survives the clear and stays usable. *)
+  Bitset.add b 512;
+  check_true "re-add after clear" (Bitset.mem b 512);
+  check_int "count after re-add" 1 (Bitset.count b)
+
+(* ----- Arena ----- *)
+
+let test_arena_basics () =
+  let a = Arena.create ~hint:2 ~dummy:(-1) () in
+  check_int "empty length" 0 (Arena.length a);
+  for i = 0 to 99 do
+    Arena.push a (i * i)
+  done;
+  check_int "length after pushes" 100 (Arena.length a);
+  check_true "capacity grew" (Arena.capacity a >= 100);
+  check_int "get 0" 0 (Arena.get a 0);
+  check_int "get 99" (99 * 99) (Arena.get a 99);
+  check_int "unsafe_get" (7 * 7) (Arena.unsafe_get a 7);
+  Arena.set a 7 42;
+  check_int "set/get" 42 (Arena.get a 7);
+  check_int "fold sums"
+    (List.fold_left ( + ) 0
+       (List.init 100 (fun i -> if i = 7 then 42 else i * i)))
+    (Arena.fold a ~init:0 ~f:( + ));
+  let seen = ref 0 in
+  Arena.iteri a (fun i v -> if i = 9 then seen := v);
+  check_int "iteri passes indices" 81 !seen;
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Arena.get: index 100 out of 0..99") (fun () ->
+      ignore (Arena.get a 100));
+  let cap = Arena.capacity a in
+  Arena.clear a;
+  check_int "clear drops length" 0 (Arena.length a);
+  check_int "clear keeps capacity" cap (Arena.capacity a);
+  Arena.push a 5;
+  check_int "reusable after clear" 5 (Arena.get a 0);
+  Arena.reset a;
+  check_int "reset drops length" 0 (Arena.length a);
+  Alcotest.check_raises "read after reset"
+    (Invalid_argument "Arena.get: index 0 out of 0..-1") (fun () ->
+      ignore (Arena.get a 0))
+
 (* ----- dense Tally vs sparse Tally ----- *)
 
 let prop_tally_dense_equals_sparse =
@@ -205,6 +256,8 @@ let suite =
       quick "Interner intern/extern round-trip" test_interner_roundtrip;
       quick "Interner.iter ascending first-seen order" test_interner_iter_order;
       quick "Bitset membership, growth, idempotence" test_bitset_basics;
+      quick "Bitset.clear keeps capacity" test_bitset_clear;
+      quick "Arena push/get/clear/reset" test_arena_basics;
     ]
     @ qcheck_cases [ prop_pool_matches_list_map; prop_tally_dense_equals_sparse ]
   )
