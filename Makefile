@@ -64,14 +64,16 @@ scale:
 # cells change run to run and can never be a determinism reference.
 # PERF2 is included on purpose: its digests are independent of machine,
 # --jobs, and pool backend, so the baseline pins executor determinism.
-# SCALE is re-run in full mode: its committed baseline carries the
-# n=10,000 rows that are the scaling evidence (CI's fast-mode exact diff
-# skips cell comparison when the fast flags differ; the claims still
-# gate), while timing/alloc cells everywhere are exempt from the exact
-# diff by column name (Diff.exact_exempt_columns).
+# SCALE and CX2 are re-run in full mode: their committed baselines carry
+# the rows that are the scaling evidence — SCALE's n=10,000 delivery
+# sweep, CX2's n=3,001 per-node √n·polylog(n) budget fits (CI's
+# fast-mode exact diff skips cell comparison when the fast flags differ;
+# the claims still gate), while timing/alloc cells everywhere are exempt
+# from the exact diff by column name (Diff.exact_exempt_columns).
 bench-baseline:
 	dune exec bench/main.exe -- --fast --no-timing --json bench/baseline/
 	dune exec bench/main.exe -- --only SCALE --no-timing --json bench/baseline/
+	dune exec bench/main.exe -- --only CX2 --no-timing --json bench/baseline/
 	rm -f bench/baseline/BENCH_PERF.json
 
 # The refactor gate CI runs: fast sweeps diffed cell-for-cell against

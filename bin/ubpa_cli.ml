@@ -1078,14 +1078,132 @@ let chaos_cmd =
              online safety monitors, per fault budget")
     Term.(const run $ protocol_t $ budgets_t $ runs_t $ jobs_t $ seed_t)
 
+(* ----- committee agreement (sub-quadratic) ----- *)
+
+let committee_cmd =
+  let n_t =
+    let doc =
+      "Total population (correct + byzantine). The sampled committee has \
+       ceil(2*sqrt(N)) members and every other node watches \
+       max(3, 2*ceil(log2 N)) of them."
+    in
+    Arg.(value & opt int 101 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let f_t =
+    let doc =
+      "Byzantine nodes. Defaults to N/6 — well inside the slacked \
+       f <= (1-eps)n/3 regime the sampling analysis assumes (see \
+       docs/SCALABILITY.md and docs/MODEL.md)."
+    in
+    Arg.(value & opt (some int) None & info [ "f" ] ~docv:"F" ~doc)
+  in
+  let workload_t =
+    Arg.(
+      value
+      & opt (enum [ ("split", `Split); ("unanimous", `Unanimous) ]) `Split
+      & info [ "workload" ] ~docv:"W"
+          ~doc:"Correct inputs: $(b,split) (node i inputs i mod 2) or \
+                $(b,unanimous) (every correct node inputs 7).")
+  in
+  let trace_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record the run's event trace and write it as JSONL to \
+             $(docv); analyze it offline with ubpa trace --file (the \
+             worked session in docs/SCALABILITY.md).")
+  in
+  let run n f seed workload adversary trace_out =
+    let module C = Scenarios.Committee_int in
+    let f = match f with Some f -> f | None -> n / 6 in
+    check_nf n f;
+    let byz = List.init f (fun i -> adversary i) in
+    let inputs =
+      match workload with
+      | `Split -> fun i -> i mod 2
+      | `Unanimous -> fun _ -> 7
+    in
+    let trace = Option.map (fun _ -> Trace.create ~live:false ()) trace_out in
+    let s = C.run ~seed:(i64 seed) ?trace ~byz ~n_correct:(n - f) ~inputs () in
+    Fmt.pr "n=%d f=%d rounds=%d delivered-msgs=%d@." s.C.n s.C.f s.C.rounds
+      s.C.delivered_msgs;
+    Fmt.pr "committee: k=%d sampled members (%d byzantine); q=%d attestors \
+            per observer@."
+      (List.length s.C.committee)
+      s.C.byz_members s.C.attestor_q;
+    Fmt.pr "per-node wire budget (densest node, sent+received): %d msgs, %d \
+            bits@."
+      s.C.max_budget_msgs s.C.max_budget_bits;
+    (* The population runs into the thousands; print a decision histogram
+       rather than one line per node. *)
+    let tally =
+      List.fold_left
+        (fun acc (_, v) ->
+          match List.assoc_opt v acc with
+          | Some c -> (v, c + 1) :: List.remove_assoc v acc
+          | None -> (v, 1) :: acc)
+        [] s.C.outputs
+      |> List.sort compare
+    in
+    Fmt.pr "decisions: %s@."
+      (String.concat ", "
+         (List.map (fun (v, c) -> Printf.sprintf "%d x%d" v c) tally));
+    Fmt.pr "agreement=%b unanimity-validity=%b terminated=%b \
+            monitors-green=%b@."
+      s.C.agreed s.C.valid s.C.all_terminated s.C.monitor_green;
+    (match (trace_out, trace) with
+    | Some path, Some t ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (Trace.to_jsonl t));
+        Fmt.pr "trace written to %s (analyze with: ubpa trace --file %s \
+                --summarize)@."
+          path path
+    | _ -> ());
+    if not (s.C.agreed && s.C.monitor_green) then exit 1
+  in
+  let adversaries =
+    [
+      ( "mixed",
+        fun i ->
+          match i mod 3 with
+          | 0 -> Scenarios.Committee_int.Attacks.silent_member
+          | 1 -> Scenarios.Committee_int.Attacks.report_flood 99
+          | _ -> Scenarios.Committee_int.Attacks.inner_split 0 1 );
+      ("silent", fun _ -> Scenarios.Committee_int.Attacks.silent_member);
+      ( "report-flood",
+        fun _ -> Scenarios.Committee_int.Attacks.report_flood 99 );
+      ( "report-equivocate",
+        fun _ -> Scenarios.Committee_int.Attacks.report_equivocate 0 1 );
+      ( "inner-split",
+        fun _ -> Scenarios.Committee_int.Attacks.inner_split 0 1 );
+    ]
+  in
+  Cmd.v
+    (Cmd.info "committee"
+       ~doc:
+         "Sub-quadratic agreement by committee sampling (King-Saia style): \
+          O~(sqrt N) per-node wire budget, population into the thousands \
+          (see docs/SCALABILITY.md)")
+    Term.(
+      const run $ n_t $ f_t $ seed_t $ workload_t $ adversary_t adversaries
+      $ trace_out_t)
+
 (* ----- model checker ----- *)
 
 let check_cmd =
   let protocol_t =
-    let doc = "Protocol model to check: rb or consensus." in
+    let doc =
+      "Protocol model to check: rb or consensus (committee is recognized \
+       but not modeled — see docs/CHECKING.md)."
+    in
     Arg.(
       value
-      & opt (enum [ ("rb", `Rb); ("consensus", `Consensus) ]) `Rb
+      & opt
+          (enum
+             [ ("rb", `Rb); ("consensus", `Consensus); ("committee", `Committee) ])
+          `Rb
       & info [ "protocol" ] ~docv:"PROTOCOL" ~doc)
   in
   let max_rounds_t =
@@ -1169,6 +1287,15 @@ let check_cmd =
       match protocol with
       | `Rb -> check (module Ubpa_check.Models.Rb)
       | `Consensus -> check (module Ubpa_check.Models.Consensus)
+      | `Committee ->
+          Fmt.epr
+            "committee is not modeled by the bounded checker: its state \
+             space is population-sized (the construction only makes sense \
+             with n in the hundreds) and its guarantees are probabilistic \
+             over the sampling seed, not exhaustive. Use `ubpa committee` \
+             for seeded runs and the CX2 experiment for the gated \
+             envelope — see docs/CHECKING.md and docs/SCALABILITY.md.@.";
+          exit 2
     in
     match (expect, verdict) with
     | None, (Ubpa_check.Checker.Verified | Violated) -> ()
@@ -1240,6 +1367,7 @@ let () =
        (Cmd.group info
           [
             consensus_cmd;
+            committee_cmd;
             binary_cmd;
             rb_cmd;
             rotor_cmd;

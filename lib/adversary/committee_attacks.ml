@@ -1,0 +1,34 @@
+open Ubpa_sim
+open Unknown_ba
+
+module Make (V : Value.S) = struct
+  module P = Committee_agreement.Make (V)
+
+  let split_half targets =
+    let half = List.length targets / 2 in
+    List.partition_map
+      (fun (i, t) -> if i < half then Either.Left t else Either.Right t)
+      (List.mapi (fun i t -> (i, t)) targets)
+    |> fun (a, b) -> (a, b)
+
+  let report_equivocate v0 v1 =
+    Strategy.v ~name:"committee-report-equivocate" (fun _rng _self view ->
+        let lo, hi = split_half view.Strategy.correct in
+        List.map (fun t -> (Envelope.To t, P.Report v0)) lo
+        @ List.map (fun t -> (Envelope.To t, P.Report v1)) hi)
+
+  let report_flood v =
+    Strategy.v ~name:"committee-report-flood" (fun _rng _self _view ->
+        [ (Envelope.Broadcast, P.Report v) ])
+
+  let inner_split v0 v1 =
+    Strategy.v ~name:"committee-inner-split" (fun _rng _self view ->
+        if view.Strategy.round = 1 then
+          [ (Envelope.Broadcast, P.Inner P.Core.Init) ]
+        else
+          let lo, hi = split_half view.Strategy.correct in
+          List.map (fun t -> (Envelope.To t, P.Inner (P.Core.Input v0))) lo
+          @ List.map (fun t -> (Envelope.To t, P.Inner (P.Core.Input v1))) hi)
+
+  let silent_member = Strategy.silent
+end

@@ -1,0 +1,39 @@
+(** Attacks on the committee-sampling agreement ({!Committee_agreement}).
+
+    The overlay's exposed surface is the spreading phase: observers
+    accept [Report]s only from their own seed-derived attestor sample,
+    decide on strict majority, and fall back to plurality after a grace
+    window. These strategies probe exactly that surface — forged and
+    equivocating reports from nodes that may or may not have been
+    sampled into the committee, and classic inner-consensus equivocation
+    for the rounds where the adversary {e was} sampled. A strategy's
+    bite therefore depends on the seed: safety must hold regardless, and
+    the tests pin seeds for both placements. *)
+
+open Ubpa_sim
+open Unknown_ba
+
+module Make (V : Value.S) : sig
+  module P : module type of Committee_agreement.Make (V)
+
+  val report_equivocate : V.t -> V.t -> P.message Strategy.t
+  (** Unicasts [Report v0] to the first half of the correct nodes and
+      [Report v1] to the rest, every round — observers that did not
+      sample this node must ignore it; observers that did must outvote
+      it with honest attestor majority. *)
+
+  val report_flood : V.t -> P.message Strategy.t
+  (** Broadcasts a fixed forged [Report] every round — the cheap global
+      attack the attestor filter is there to blunt. *)
+
+  val inner_split : V.t -> V.t -> P.message Strategy.t
+  (** Announces itself in the committee's init round, then feeds
+      [Input v0] to one half and [Input v1] to the other — the
+      split-world attack of the dense consensus, fired through the
+      sparse overlay. *)
+
+  val silent_member : P.message Strategy.t
+  (** Never speaks — when sampled into the committee this exercises the
+      core's missing-member substitution; when sampled as an attestor it
+      starves observers toward the plurality fallback. *)
+end

@@ -1,0 +1,82 @@
+open Ubpa_util
+
+(* Distinct derivation tags keep the two sampling streams (committee,
+   per-node attestor sets) independent consumers of one public seed: a
+   new stream never perturbs an existing one, which is what keeps
+   committed baselines stable as samplers are added. *)
+let gamma = 0x9E3779B97F4A7C15L
+let committee_tag = 0x636F6D6D4B53L (* "commKS" *)
+let attestor_tag = 0x61747473L (* "atts" *)
+
+let derive ~seed ~tag ~salt =
+  Rng.create
+    (Int64.logxor seed
+       (Int64.mul gamma (Int64.add tag (Int64.of_int (salt + 1)))))
+
+let ceil_log2 n =
+  let rec go acc m = if m <= 1 then acc else go (acc + 1) ((m + 1) / 2) in
+  go 0 (max 1 n)
+
+let committee_size n =
+  if n <= 0 then 0
+  else min n (int_of_float (ceil (2.0 *. sqrt (float_of_int n))))
+
+let attestor_size n = min (committee_size n) (max 3 (2 * ceil_log2 n))
+
+(* [count] distinct indices in [0, bound) by rejection — O(count) expected
+   draws while count is well below bound (committees are ~2√n of n;
+   attestor sets ~2·log n of k), degrading gracefully to coupon-collector
+   cost only on toy populations where count ≈ bound. *)
+let sample_indices rng ~bound ~count =
+  let seen = Hashtbl.create (4 * count) in
+  let rec draw acc got =
+    if got = count then acc
+    else
+      let i = Rng.int rng bound in
+      if Hashtbl.mem seen i then draw acc got
+      else begin
+        Hashtbl.add seen i ();
+        draw (i :: acc) (got + 1)
+      end
+  in
+  if count <= 0 || bound <= 0 then [] else draw [] 0
+
+let member_indices ~seed ~n =
+  let rng = derive ~seed ~tag:committee_tag ~salt:0 in
+  sample_indices rng ~bound:n ~count:(committee_size n)
+
+let members ~seed ~universe =
+  let u = Array.of_list (Node_id.sorted universe) in
+  member_indices ~seed ~n:(Array.length u)
+  |> List.map (Array.get u)
+  |> Node_id.sorted
+
+(* Indices into the *sorted committee* of the q members node [self]
+   samples as its attestors. Keyed by the public seed and the sampler's
+   own identifier, so every node can recompute anyone's attestor set. *)
+let attestor_indices ~seed ~n ~k ~self =
+  let rng = derive ~seed ~tag:attestor_tag ~salt:(Node_id.to_int self) in
+  sample_indices rng ~bound:k ~count:(min k (attestor_size n))
+
+let attestors ~seed ~universe ~self =
+  let committee = Array.of_list (members ~seed ~universe) in
+  let n = List.length universe and k = Array.length committee in
+  attestor_indices ~seed ~n ~k ~self
+  |> List.map (Array.get committee)
+  |> Node_id.sorted
+
+let audience ~seed ~universe ~member =
+  let u = Node_id.sorted universe in
+  let committee = Array.of_list (members ~seed ~universe) in
+  let n = List.length u and k = Array.length committee in
+  let member_idx = ref (-1) in
+  Array.iteri
+    (fun i id -> if Node_id.equal id member then member_idx := i)
+    committee;
+  if !member_idx < 0 then []
+  else
+    List.filter
+      (fun o ->
+        List.exists (Int.equal !member_idx)
+          (attestor_indices ~seed ~n ~k ~self:o))
+      u

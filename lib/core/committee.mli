@@ -1,0 +1,53 @@
+(** Deterministic seeded committee and attestor sampling (King–Saia style).
+
+    The sub-quadratic agreement protocol ({!Committee_agreement}) replaces
+    all-to-all traffic with two public, seed-derived samples over the
+    sorted identifier universe:
+
+    - a {b committee} of [committee_size n ≈ ⌈2√n⌉] nodes that runs the
+      full-strength consensus core among itself, and
+    - per node, an {b attestor set} of [attestor_size n ≈ 2⌈log₂ n⌉]
+      committee members from which that node accepts decision reports.
+
+    Everything here is a pure function of [(seed, universe)] — splitmix64
+    streams with distinct derivation tags, byte-identical however the
+    computation is scheduled (any [--jobs], any delivery core) — so every
+    node, the adversary, and the test-suite can recompute anyone's sample.
+    A committee member inverts the attestor map with {!audience} to learn
+    exactly which nodes sampled it, which is what keeps the spreading
+    phase at Õ(√n) unicasts per member instead of a broadcast.
+
+    Fault tolerance is statistical: sampling preserves the Byzantine
+    fraction only in expectation, so the model assumption is the
+    ε-slacked [f ≤ (1−ε)·n/3] (see docs/MODEL.md), under which a sampled
+    committee has fewer than [k/3] Byzantine members with high
+    probability, and a sampled attestor set has an honest majority with
+    high probability. *)
+
+open Ubpa_util
+
+val committee_size : int -> int
+(** [committee_size n] = [min n ⌈2√n⌉]; 0 when [n ≤ 0]. *)
+
+val attestor_size : int -> int
+(** [attestor_size n] = [min (committee_size n) (max 3 2⌈log₂ n⌉)] —
+    how many committee members each node samples as attestors. *)
+
+val members : seed:int64 -> universe:Node_id.t list -> Node_id.t list
+(** The committee: [committee_size n] distinct identifiers sampled from
+    the sorted universe. Sorted ascending; deterministic in
+    [(seed, universe)] as a set — duplicates in [universe] are ignored. *)
+
+val attestors :
+  seed:int64 -> universe:Node_id.t list -> self:Node_id.t -> Node_id.t list
+(** The committee members node [self] accepts decision reports from:
+    [attestor_size n] distinct members keyed by [(seed, self)]. Sorted
+    ascending. Any caller can recompute any node's set — the map is
+    public. *)
+
+val audience :
+  seed:int64 -> universe:Node_id.t list -> member:Node_id.t -> Node_id.t list
+(** Inverse of {!attestors}: every node whose attestor set contains
+    [member], ascending. Empty when [member] is not on the committee.
+    Expected size [n · attestor_size n / committee_size n ≈ √n·log₂ n],
+    which is the spreading phase's per-member send budget. *)

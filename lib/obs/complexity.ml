@@ -1,14 +1,29 @@
 open Ubpa_util
 
+type shape = Poly of int | Sqrt_polylog of int
+
 type fit = {
   name : string;
-  exponent : int;
+  shape : shape;
   headroom : float;
   constant : float;
   slope : float;
   points : (int * float) list;
   holds : bool;
 }
+
+let shape_label = function
+  | Poly k -> Printf.sprintf "O(n^%d)" k
+  | Sqrt_polylog p ->
+      if p = 0 then "O(sqrt(n))" else Printf.sprintf "O(sqrt(n)*log^%d n)" p
+
+let model_value shape n =
+  let nf = float_of_int n in
+  match shape with
+  | Poly k -> nf ** float_of_int k
+  | Sqrt_polylog p ->
+      (* log₂; any fixed base only moves the calibrated constant. *)
+      sqrt nf *. (log nf /. log 2.) ** float_of_int p
 
 (* Least-squares slope of log y over log n, over points with n > 1 aggregated
    per distinct n. Returns 0. when fewer than two usable points exist. *)
@@ -31,47 +46,74 @@ let loglog_slope points =
       if Float.abs denom < 1e-12 then 0.
       else ((len *. sxy) -. (sx *. sy)) /. denom
 
-let fit ~name ~exponent ?(headroom = 2.0) ?(slope_tol = 0.35) points =
+(* The admissible log-log slope of a shape over the swept range. A
+   polynomial's is its exponent everywhere; sqrt·polylog has no constant
+   slope, so bound by the model's own secant between the smallest and
+   largest swept n — the steepest the model itself grows on that range. *)
+let model_slope shape points =
+  match shape with
+  | Poly k -> float_of_int k
+  | Sqrt_polylog _ -> (
+      let ns =
+        List.filter_map (fun (n, _) -> if n > 1 then Some n else None) points
+        |> List.sort_uniq Int.compare
+      in
+      match ns with
+      | [] | [ _ ] -> 0.5
+      | n0 :: _ ->
+          let n1 = List.nth ns (List.length ns - 1) in
+          let y0 = model_value shape n0 and y1 = model_value shape n1 in
+          (log y1 -. log y0) /. (log (float_of_int n1) -. log (float_of_int n0))
+      )
+
+let fit_shape ~name ~shape ?(headroom = 2.0) ?(slope_tol = 0.35) points =
   let points = List.sort (fun (a, _) (b, _) -> Int.compare a b) points in
-  let pow n = float_of_int n ** float_of_int exponent in
   let constant =
     match points with
-    | (n, y) :: _ when n > 0 -> y /. pow n
+    | (n, y) :: _ when n > 1 -> y /. model_value shape n
     | _ -> 0.
   in
   let envelope_ok =
     points <> []
-    && List.for_all (fun (n, y) -> y <= headroom *. constant *. pow n) points
+    && List.for_all
+         (fun (n, y) -> y <= headroom *. constant *. model_value shape n)
+         points
   in
   let slope = loglog_slope points in
   let distinct_ns =
     List.sort_uniq Int.compare (List.map fst points) |> List.length
   in
-  let slope_ok =
-    distinct_ns < 2 || slope <= float_of_int exponent +. slope_tol
-  in
+  let slope_ok = distinct_ns < 2 || slope <= model_slope shape points +. slope_tol in
   let holds = envelope_ok && slope_ok in
-  { name; exponent; headroom; constant; slope; points; holds }
+  { name; shape; headroom; constant; slope; points; holds }
+
+let fit ~name ~exponent ?headroom ?slope_tol points =
+  fit_shape ~name ~shape:(Poly exponent) ?headroom ?slope_tol points
 
 let pp ppf f =
-  Format.fprintf ppf "%s: O(n^%d) %s (c=%.3f slope=%.2f headroom=%.1f)" f.name
-    f.exponent
+  Format.fprintf ppf "%s: %s %s (c=%.3f slope=%.2f headroom=%.1f)" f.name
+    (shape_label f.shape)
     (if f.holds then "holds" else "VIOLATED")
     f.constant f.slope f.headroom
 
+let shape_to_json = function
+  | Poly k -> [ ("exponent", `Int k) ]
+  | Sqrt_polylog p ->
+      [ ("shape", `String "sqrt_polylog"); ("exponent", `Int p) ]
+
 let to_json f : Json.t =
   `Assoc
-    [
-      ("name", `String f.name);
-      ("exponent", `Int f.exponent);
-      ("headroom", `Float f.headroom);
-      ("constant", `Float f.constant);
-      ("slope", `Float f.slope);
-      ( "points",
-        `List
-          (List.map (fun (n, y) -> `List [ `Int n; `Float y ]) f.points) );
-      ("holds", `Bool f.holds);
-    ]
+    (("name", `String f.name)
+     :: shape_to_json f.shape
+    @ [
+        ("headroom", `Float f.headroom);
+        ("constant", `Float f.constant);
+        ("slope", `Float f.slope);
+        ( "points",
+          `List
+            (List.map (fun (n, y) -> `List [ `Int n; `Float y ]) f.points) );
+        ("holds", `Bool f.holds);
+      ])
 
 let of_json (j : Json.t) =
   let ( let* ) = Result.bind in
@@ -84,6 +126,15 @@ let of_json (j : Json.t) =
     match Option.bind (Json.member "exponent" j) Json.to_int with
     | Some i -> Ok i
     | None -> Error "Complexity.of_json: missing \"exponent\""
+  in
+  (* Fits written before non-polynomial shapes existed carry only the
+     integer "exponent"; absent "shape" means Poly. *)
+  let* shape =
+    match Option.bind (Json.member "shape" j) Json.to_string_opt with
+    | None | Some "poly" -> Ok (Poly exponent)
+    | Some "sqrt_polylog" -> Ok (Sqrt_polylog exponent)
+    | Some other ->
+        Error (Printf.sprintf "Complexity.of_json: unknown shape %S" other)
   in
   let float_field field =
     match Option.bind (Json.member field j) Json.to_float with
@@ -114,4 +165,4 @@ let of_json (j : Json.t) =
     | Some b -> Ok b
     | None -> Error "Complexity.of_json: missing \"holds\""
   in
-  Ok { name; exponent; headroom; constant; slope; points; holds }
+  Ok { name; shape; headroom; constant; slope; points; holds }

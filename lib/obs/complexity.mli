@@ -1,30 +1,46 @@
 (** Asymptotic-envelope fitting for measured complexity curves.
 
-    The paper states message/bit bounds as O(n^k); an experiment measures
-    concrete counts along an [n]-sweep. A {!fit} turns those points into a
-    machine-checkable verdict: calibrate the constant [c] on the smallest
-    sweep point, then require
+    The paper states message/bit bounds as O(n^k) — and, for the
+    committee-sampling protocols, Õ(√n) per processor; an experiment
+    measures concrete counts along an [n]-sweep. A {!fit} turns those
+    points into a machine-checkable verdict: calibrate the constant [c]
+    on the smallest sweep point, then require
 
     - {b envelope}: every measured point stays within
-      [headroom * c * n^k], and
+      [headroom * c * model(n)], and
     - {b slope}: the least-squares slope of [log y] against [log n] does
-      not exceed [k + slope_tol] — growth genuinely of a lower or equal
-      order, not just a generous constant.
+      not exceed the model's admissible slope plus [slope_tol] — growth
+      genuinely of a lower or equal order, not just a generous constant.
 
-    Both must hold for [holds]. Fits are serialized into the benchmark
-    artifact's [complexity] block (schema [ubpa-bench/2]) and mirrored as
-    pass/fail claims, so the asymptotics are regression-gated exactly like
-    the correctness claims. *)
+    Both must hold for [holds]. For a polynomial the admissible slope is
+    the exponent; [Sqrt_polylog] has no constant log-log slope, so its
+    bound is the model's own secant slope between the smallest and
+    largest swept [n]. Fits are serialized into the benchmark artifact's
+    [complexity] block (schema [ubpa-bench/2]) and mirrored as pass/fail
+    claims, so the asymptotics are regression-gated exactly like the
+    correctness claims. *)
+
+type shape =
+  | Poly of int  (** [c * n^k] — the classic dense-protocol envelope. *)
+  | Sqrt_polylog of int
+      (** [c * sqrt(n) * (log2 n)^p] — the sub-quadratic per-node budget
+          of the committee-sampling protocols (experiment CX2). *)
 
 type fit = {
-  name : string;  (** e.g. ["rb.msgs"]. *)
-  exponent : int;  (** [k] in the [c * n^k] envelope. *)
+  name : string;  (** e.g. ["rb.msgs"] or ["committee.node-bits"]. *)
+  shape : shape;  (** Model the envelope is calibrated against. *)
   headroom : float;  (** Allowed multiple of the calibrated envelope. *)
   constant : float;  (** [c], calibrated on the smallest-[n] point. *)
   slope : float;  (** Least-squares log-log slope of the points. *)
   points : (int * float) list;  (** [(n, measured)], ascending in [n]. *)
   holds : bool;
 }
+
+val shape_label : shape -> string
+(** Human-readable model, e.g. ["O(n^2)"] or ["O(sqrt(n)*log^2 n)"]. *)
+
+val model_value : shape -> int -> float
+(** The un-scaled model evaluated at [n]. *)
 
 val fit :
   name:string ->
@@ -33,11 +49,24 @@ val fit :
   ?slope_tol:float ->
   (int * float) list ->
   fit
-(** [headroom] defaults to 2.0, [slope_tol] to 0.35. Points are sorted by
-    [n]; at least two distinct [n] values with positive measurements are
-    required for the slope to be meaningful — with fewer, [holds] is the
-    envelope check alone. *)
+(** Polynomial fit: [fit_shape] with [Poly exponent]. [headroom] defaults
+    to 2.0, [slope_tol] to 0.35. Points are sorted by [n]; at least two
+    distinct [n] values with positive measurements are required for the
+    slope to be meaningful — with fewer, [holds] is the envelope check
+    alone. *)
+
+val fit_shape :
+  name:string ->
+  shape:shape ->
+  ?headroom:float ->
+  ?slope_tol:float ->
+  (int * float) list ->
+  fit
+(** General form of {!fit} for non-polynomial envelopes. *)
 
 val pp : Format.formatter -> fit -> unit
 val to_json : fit -> Ubpa_util.Json.t
+
 val of_json : Ubpa_util.Json.t -> (fit, string) result
+(** Documents written before non-polynomial shapes carry only the integer
+    ["exponent"]; a missing ["shape"] field loads as [Poly]. *)

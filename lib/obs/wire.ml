@@ -5,7 +5,8 @@ type count = { msgs : int; bits : int }
 type t = {
   mutable total : count;
   rounds : (int, count) Hashtbl.t;
-  nodes : (int, count) Hashtbl.t; (* keyed by Node_id.to_int *)
+  nodes : (int, count) Hashtbl.t; (* recipient, keyed by Node_id.to_int *)
+  senders : (int, count) Hashtbl.t; (* sender, keyed by Node_id.to_int *)
   kinds : (string, count) Hashtbl.t;
 }
 
@@ -14,6 +15,7 @@ let create () =
     total = { msgs = 0; bits = 0 };
     rounds = Hashtbl.create 32;
     nodes = Hashtbl.create 32;
+    senders = Hashtbl.create 32;
     kinds = Hashtbl.create 8;
   }
 
@@ -25,10 +27,11 @@ let bump tbl key bits =
   in
   Hashtbl.replace tbl key { msgs = prior.msgs + 1; bits = prior.bits + bits }
 
-let record t ~round ~recipient ~kind ~bits =
+let record t ~round ~sender ~recipient ~kind ~bits =
   t.total <- { msgs = t.total.msgs + 1; bits = t.total.bits + bits };
   bump t.rounds round bits;
   bump t.nodes (Node_id.to_int recipient) bits;
+  bump t.senders (Node_id.to_int sender) bits;
   bump t.kinds kind bits
 
 let messages t = t.total.msgs
@@ -45,12 +48,48 @@ let per_node t =
     (fun (k, v) -> (Node_id.of_int k, v))
     (sorted_bindings t.nodes Int.compare)
 
+let per_sender t =
+  List.map
+    (fun (k, v) -> (Node_id.of_int k, v))
+    (sorted_bindings t.senders Int.compare)
+
 let per_kind t = sorted_bindings t.kinds String.compare
+
+let zero = { msgs = 0; bits = 0 }
+
+let received_by t id =
+  Option.value ~default:zero (Hashtbl.find_opt t.nodes (Node_id.to_int id))
+
+let sent_by t id =
+  Option.value ~default:zero (Hashtbl.find_opt t.senders (Node_id.to_int id))
+
+(* Per-node bit budget: what node [id] put on the wire plus what the wire
+   delivered to it. This is the per-processor cost the sub-quadratic
+   experiments bound — a node that only receives still pays for every
+   accepted delivery, and a committee member that fans a report out to
+   Θ(n/√n · log n) samplers pays on the send side. *)
+let budget_of t id =
+  let r = received_by t id and s = sent_by t id in
+  { msgs = r.msgs + s.msgs; bits = r.bits + s.bits }
+
+let max_budget t =
+  let ids =
+    List.sort_uniq Int.compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) t.nodes []
+      @ Hashtbl.fold (fun k _ acc -> k :: acc) t.senders [])
+  in
+  List.fold_left
+    (fun acc k ->
+      let b = budget_of t (Node_id.of_int k) in
+      if b.bits > acc.bits then b else acc)
+    zero ids
 
 let equal a b =
   a.total = b.total
   && per_round a = per_round b
   && sorted_bindings a.nodes Int.compare = sorted_bindings b.nodes Int.compare
+  && sorted_bindings a.senders Int.compare
+     = sorted_bindings b.senders Int.compare
   && per_kind a = per_kind b
 
 let pp ppf t =
@@ -68,6 +107,13 @@ let pp ppf t =
 let count_json c : Json.t = `List [ `Int c.msgs; `Int c.bits ]
 
 let to_json t : Json.t =
+  let id_rows assoc =
+    `List
+      (List.map
+         (fun (id, c) ->
+           `List [ `Int (Node_id.to_int id); `Int c.msgs; `Int c.bits ])
+         assoc)
+  in
   `Assoc
     [
       ("msgs", `Int t.total.msgs);
@@ -77,12 +123,8 @@ let to_json t : Json.t =
           (List.map
              (fun (r, c) -> `List [ `Int r; `Int c.msgs; `Int c.bits ])
              (per_round t)) );
-      ( "per_node",
-        `List
-          (List.map
-             (fun (id, c) ->
-               `List [ `Int (Node_id.to_int id); `Int c.msgs; `Int c.bits ])
-             (per_node t)) );
+      ("per_node", id_rows (per_node t));
+      ("per_sender", id_rows (per_sender t));
       ("per_kind", `Assoc (List.map (fun (k, c) -> (k, count_json c)) (per_kind t)));
     ]
 
@@ -110,6 +152,14 @@ let of_json (j : Json.t) =
   let* bits = int_field "bits" in
   let* rounds = triple_list "per_round" in
   let* nodes = triple_list "per_node" in
+  (* Wire JSON written before the per-sender breakdown existed has no
+     "per_sender" field; load it with empty sender counters rather than
+     rejecting the document. *)
+  let* senders =
+    match Json.member "per_sender" j with
+    | None -> Ok []
+    | Some _ -> triple_list "per_sender"
+  in
   let* kinds =
     match Json.member "per_kind" j with
     | Some (`Assoc fields) ->
@@ -127,5 +177,6 @@ let of_json (j : Json.t) =
   t.total <- { msgs; bits };
   List.iter (fun (r, c) -> Hashtbl.replace t.rounds r c) rounds;
   List.iter (fun (n, c) -> Hashtbl.replace t.nodes n c) nodes;
+  List.iter (fun (s, c) -> Hashtbl.replace t.senders s c) senders;
   List.iter (fun (k, c) -> Hashtbl.replace t.kinds k c) kinds;
   Ok t

@@ -2,16 +2,20 @@
 
     One accumulator per network run: every envelope a delivery core
     accepts (post-dedup — a dropped duplicate never crossed the model's
-    wire twice) is recorded here with its recipient, round, message kind,
-    and encoded size in bits. Receive-omission faults are applied {e
-    after} routing, so wire counts include messages a faulty receiver
-    subsequently dropped: the message was transmitted either way.
+    wire twice) is recorded here with its sender, recipient, round,
+    message kind, and encoded size in bits. Receive-omission faults are
+    applied {e after} routing, so wire counts include messages a faulty
+    receiver subsequently dropped: the message was transmitted either way.
 
-    Counters are totals plus three breakdowns — per round, per recipient
-    node, per message kind — each a [(messages, bits)] pair. Both delivery
-    cores feed the same accumulator through the same hook, which is what
-    makes {!equal} a meaningful cross-core identity check (claim-gated in
-    experiment CX1, like delivery counts before it). *)
+    Counters are totals plus four breakdowns — per round, per recipient
+    node, per sender node, per message kind — each a [(messages, bits)]
+    pair. Both directions matter for per-processor budgets: a broadcast
+    costs its sender one send but every present recipient one delivery,
+    while a sparse unicast fan-out (the committee protocols) bills the
+    sender once per addressed peer. All delivery cores feed the same
+    accumulator through the same hook, which is what makes {!equal} a
+    meaningful cross-core identity check (claim-gated in experiments CX1
+    and CX2, like delivery counts before it). *)
 
 open Ubpa_util
 
@@ -20,7 +24,15 @@ type t
 type count = { msgs : int; bits : int }
 
 val create : unit -> t
-val record : t -> round:int -> recipient:Node_id.t -> kind:string -> bits:int -> unit
+
+val record :
+  t ->
+  round:int ->
+  sender:Node_id.t ->
+  recipient:Node_id.t ->
+  kind:string ->
+  bits:int ->
+  unit
 
 val messages : t -> int
 (** Total deliveries recorded (equals the sum of any breakdown). *)
@@ -34,14 +46,37 @@ val per_round : t -> (int * count) list
 val per_node : t -> (Node_id.t * count) list
 (** Ascending by recipient id. *)
 
+val per_sender : t -> (Node_id.t * count) list
+(** Ascending by sender id. A broadcast accepted by [k] recipients
+    contributes [k] to its sender — wire accounting prices what actually
+    crossed the wire, and a broadcast in the model is [k] point-to-point
+    transmissions (see docs/OBSERVABILITY.md on sparse-send semantics). *)
+
 val per_kind : t -> (string * count) list
 (** Ascending by kind. Kinds come from the network's [classify] function;
     ["msg"] when none was given. *)
 
+val received_by : t -> Node_id.t -> count
+(** This node's recipient-side counters; zero when it never received. *)
+
+val sent_by : t -> Node_id.t -> count
+(** This node's sender-side counters; zero when it never sent. *)
+
+val budget_of : t -> Node_id.t -> count
+(** Per-node bit budget: sent plus received — the per-processor cost the
+    sub-quadratic experiments (CX2) bound against √n·polylog envelopes. *)
+
+val max_budget : t -> count
+(** The largest per-node budget over every node that sent or received;
+    the budget whose [bits] component is maximal. *)
+
 val equal : t -> t -> bool
-(** Totals and all three breakdowns agree. *)
+(** Totals and all four breakdowns agree. *)
 
 val pp : Format.formatter -> t -> unit
 
 val to_json : t -> Json.t
+
 val of_json : Json.t -> (t, string) result
+(** Accepts documents written before the per-sender breakdown existed
+    (their sender counters load empty). *)

@@ -45,8 +45,9 @@ let check_claims (artifacts : Artifact.t list) =
                     message =
                       Printf.sprintf
                         "complexity fit %s violated: measured slope %.2f \
-                         against O(n^%d)"
-                        f.name f.slope f.exponent;
+                         against %s"
+                        f.name f.slope
+                        (Ubpa_obs.Complexity.shape_label f.shape);
                   })
             a.complexity)
     artifacts
@@ -192,9 +193,11 @@ let compare_pair ~threshold ~time_threshold ~exact (base : Artifact.t)
                 severity = Failure;
                 message =
                   Printf.sprintf
-                    "complexity fit %s regressed: O(n^%d) envelope no longer \
+                    "complexity fit %s regressed: %s envelope no longer \
                      holds (slope %.2f)"
-                    cf.name cf.exponent cf.slope;
+                    cf.name
+                    (Ubpa_obs.Complexity.shape_label cf.shape)
+                    cf.slope;
               }
         | Some _ -> None)
       base.complexity

@@ -311,9 +311,9 @@ module Make (P : Protocol.S) = struct
             Node_id.Map.iter
               (fun id (nr : Oracle.node_round) ->
                 List.iter
-                  (fun (_src, payload) ->
-                    Ubpa_obs.Wire.record wire ~round ~recipient:id ~kind:"msg"
-                      ~bits:(P.encoded_bits payload))
+                  (fun (src, payload) ->
+                    Ubpa_obs.Wire.record wire ~round ~sender:src ~recipient:id
+                      ~kind:"msg" ~bits:(P.encoded_bits payload))
                   nr.Oracle.nr_inbox)
               recorded)
           sc_rounds;

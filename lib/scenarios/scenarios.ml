@@ -714,3 +714,115 @@ module Trb_str = struct
       all_terminated = o.H.finished = `All_halted;
     }
 end
+
+module Committee_int = struct
+  module P = Committee_agreement.Make (Value.Int)
+  module H = Harness.Make (P)
+  module Net = H.Net
+  module Attacks = Ubpa_adversary.Committee_attacks.Make (Value.Int)
+
+  type summary = {
+    n : int;
+    f : int;
+    rounds : int;
+    delivered_msgs : int;
+    outputs : (Node_id.t * int) list;
+    agreed : bool;
+    valid : bool;
+    all_terminated : bool;
+    decision_rounds : int list;
+    committee : Node_id.t list;
+    byz_members : int;
+    attestor_q : int;
+    max_budget_msgs : int;
+    max_budget_bits : int;
+    monitor_green : bool;
+  }
+
+  let run ?(seed = 10L) ?(max_rounds = 400) ?(byz = []) ?delivery
+      ?wire_accounting ?rushing ?trace ~n_correct ~inputs () =
+    let correct_ids, byz_ids =
+      split_population ~seed ~n_correct ~n_byz:(List.length byz)
+    in
+    let universe = Node_id.sorted (correct_ids @ byz_ids) in
+    let correct =
+      List.mapi
+        (fun i id -> (id, { P.value = inputs i; seed; universe }))
+        correct_ids
+    in
+    let byzantine = List.combine byz_ids byz in
+    let input_values = List.mapi (fun i _ -> inputs i) correct_ids in
+    let unanimous =
+      match input_values with
+      | [] -> None
+      | v :: rest -> if List.for_all (Int.equal v) rest then Some v else None
+    in
+    let monitor =
+      Ubpa_monitor.create
+        [
+          Ubpa_monitor.agreement ~equal:Int.equal ~pp:Fmt.int ();
+          Ubpa_monitor.validity
+            ~ok:(fun _ out ->
+              match unanimous with None -> true | Some v -> Int.equal v out)
+            ();
+        ]
+    in
+    let o =
+      H.execute ?delivery ?wire_accounting ?rushing ?trace ~seed ~max_rounds
+        ~classify:P.kind ~monitor ~correct ~byzantine ()
+    in
+    let outputs = o.H.outputs in
+    let values = List.map snd outputs in
+    let agreed =
+      match values with
+      | [] -> false
+      | v :: rest ->
+          List.for_all (Int.equal v) rest
+          && List.length values = List.length correct_ids
+    in
+    let committee = Unknown_ba.Committee.members ~seed ~universe in
+    let byz_members =
+      List.length
+        (List.filter
+           (fun id -> List.exists (Node_id.equal id) byz_ids)
+           committee)
+    in
+    (* The per-processor budget the CX2 envelope bounds is a statement
+       about correct nodes: a flooding adversary burns Θ(n) of its own
+       sent-side budget per round, and that spend must not be what the
+       fit measures. Received-side inflation from those floods still
+       lands on correct nodes and still counts. *)
+    let wire = Net.wire o.H.net in
+    let budget =
+      List.fold_left
+        (fun (acc : Ubpa_obs.Wire.count) id ->
+          let b = Ubpa_obs.Wire.budget_of wire id in
+          if b.Ubpa_obs.Wire.bits > acc.Ubpa_obs.Wire.bits then b else acc)
+        { Ubpa_obs.Wire.msgs = 0; bits = 0 }
+        correct_ids
+    in
+    {
+      n = n_correct + List.length byz;
+      f = List.length byz;
+      rounds = o.H.rounds;
+      delivered_msgs = o.H.delivered_msgs;
+      outputs;
+      agreed;
+      valid =
+        (* Unanimity validity, with high probability over the seed: when
+           every correct input is the same value, the sampled committee
+           decides it and the spreading phase carries it everywhere. *)
+        (match (unanimous, values) with
+        | _, [] -> false
+        | None, _ -> true
+        | Some v, _ -> List.for_all (Int.equal v) values);
+      all_terminated = o.H.finished = `All_halted;
+      decision_rounds = List.filter_map (fun r -> r.Net.halted_at) o.H.reports;
+      committee;
+      byz_members;
+      attestor_q = Unknown_ba.Committee.attestor_size (List.length universe);
+      max_budget_msgs = budget.Ubpa_obs.Wire.msgs;
+      max_budget_bits = budget.Ubpa_obs.Wire.bits;
+      monitor_green = Ubpa_monitor.all_green monitor;
+    }
+end

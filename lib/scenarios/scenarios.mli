@@ -116,6 +116,57 @@ module Consensus_int : sig
   (** [inputs i] is the input of the [i]-th correct node. *)
 end
 
+(** {1 Committee-sampling agreement (King–Saia style, sub-quadratic)} *)
+
+module Committee_int : sig
+  module P : module type of Committee_agreement.Make (Value.Int)
+  module Net : module type of Network.Make (P)
+
+  module Attacks : module type of Ubpa_adversary.Committee_attacks.Make
+                                    (Value.Int)
+
+  type summary = {
+    n : int;
+    f : int;
+    rounds : int;
+    delivered_msgs : int;
+    outputs : (Node_id.t * int) list;
+    agreed : bool;
+    valid : bool;
+        (** unanimity validity (w.h.p. over the seed): when every correct
+            input is the same value, that value is the common output *)
+    all_terminated : bool;
+    decision_rounds : int list;
+    committee : Node_id.t list;  (** the sampled committee, ascending *)
+    byz_members : int;  (** Byzantine identifiers sampled into it *)
+    attestor_q : int;  (** per-node attestor sample size *)
+    max_budget_msgs : int;
+        (** largest per-node wire budget (sent + received messages) over
+            the {e correct} nodes — a flooding adversary's own sent-side
+            spend is excluded, its inflation of correct receivers is
+            not; 0 when [wire_accounting] is off *)
+    max_budget_bits : int;  (** ditto, in bits — CX2's gated quantity *)
+    monitor_green : bool;
+        (** online agreement/validity monitors saw no violation *)
+  }
+
+  val run :
+    ?seed:int64 ->
+    ?max_rounds:int ->
+    ?byz:P.message Strategy.t list ->
+    ?delivery:Delivery.impl ->
+    ?wire_accounting:bool ->
+    ?rushing:bool ->
+    ?trace:Trace.t ->
+    n_correct:int ->
+    inputs:(int -> int) ->
+    unit ->
+    summary
+  (** [inputs i] is the input of the [i]-th correct node. The universe
+      handed to every node is the full scattered population (correct and
+      Byzantine); the committee is sampled from it by the public seed. *)
+end
+
 (** {1 Approximate agreement (Algorithm 4)} *)
 
 module Aa : sig

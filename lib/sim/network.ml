@@ -261,9 +261,9 @@ module Make (P : Protocol.S) = struct
       if not t.wire_accounting then None
       else
         Some
-          (fun ~recipient ~src:_ payload ->
+          (fun ~recipient ~src payload ->
             let bits = P.encoded_bits payload in
-            Ubpa_obs.Wire.record t.wire ~round:t.round ~recipient
+            Ubpa_obs.Wire.record t.wire ~round:t.round ~sender:src ~recipient
               ~kind:(kind_of payload) ~bits;
             Metrics.record_wire t.metrics ~round:t.round ~bits)
     in

@@ -146,13 +146,13 @@ module Make (P : Protocol.S) = struct
           let present =
             Node_id.Set.of_list (List.map (fun n -> n.rn_id) stepping)
           in
-          let on_deliver ~recipient ~src:_ payload =
+          let on_deliver ~recipient ~src payload =
             (* Delivered mode records the wire from what the runtime
                actually handed its protocols (below), not from what
                lockstep routing would have delivered. *)
             if not delivered then
-              Ubpa_obs.Wire.record wire ~round ~recipient ~kind:"msg"
-                ~bits:(P.encoded_bits payload)
+              Ubpa_obs.Wire.record wire ~round ~sender:src ~recipient
+                ~kind:"msg" ~bits:(P.encoded_bits payload)
           in
           let inboxes, _delivered =
             Delivery.route ~on_deliver ~interner:(Some intr)
@@ -183,9 +183,10 @@ module Make (P : Protocol.S) = struct
                             message(s), oracle routes %d"
                            (List.length nr.nr_inbox) (List.length routed));
                     List.iter
-                      (fun (_, payload) ->
-                        Ubpa_obs.Wire.record wire ~round ~recipient:n.rn_id
-                          ~kind:"msg" ~bits:(P.encoded_bits payload))
+                      (fun (src, payload) ->
+                        Ubpa_obs.Wire.record wire ~round ~sender:src
+                          ~recipient:n.rn_id ~kind:"msg"
+                          ~bits:(P.encoded_bits payload))
                       nr.nr_inbox
                   end
                   else if not (eq_inbox nr.nr_inbox routed) then

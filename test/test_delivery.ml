@@ -58,8 +58,8 @@ let same_inboxes a b =
    a broadcast's recipients in different orders. *)
 let with_wire core ~present ~envelopes =
   let wire = Ubpa_obs.Wire.create () in
-  let on_deliver ~recipient ~src:_ payload =
-    Ubpa_obs.Wire.record wire ~round:1 ~recipient ~kind:"m"
+  let on_deliver ~recipient ~src payload =
+    Ubpa_obs.Wire.record wire ~round:1 ~sender:src ~recipient ~kind:"m"
       ~bits:(16 + (8 * payload))
   in
   let inboxes, count = core ~on_deliver ~present ~envelopes in

@@ -70,9 +70,9 @@ let test_encoded_bits_structural_protocols () =
 (* ----- wire counters ----- *)
 
 let fill_wire w =
-  Wire.record w ~round:1 ~recipient:(id 1) ~kind:"echo" ~bits:72;
-  Wire.record w ~round:1 ~recipient:(id 2) ~kind:"echo" ~bits:72;
-  Wire.record w ~round:2 ~recipient:(id 1) ~kind:"vote" ~bits:4;
+  Wire.record w ~round:1 ~sender:(id 0) ~recipient:(id 1) ~kind:"echo" ~bits:72;
+  Wire.record w ~round:1 ~sender:(id 0) ~recipient:(id 2) ~kind:"echo" ~bits:72;
+  Wire.record w ~round:2 ~sender:(id 2) ~recipient:(id 1) ~kind:"vote" ~bits:4;
   w
 
 let test_wire_accumulates () =
@@ -152,8 +152,8 @@ let random_traffic rng =
 
 let wire_of_route routefn ~present ~envelopes =
   let w = Wire.create () in
-  let on_deliver ~recipient ~src:_ payload =
-    Wire.record w ~round:1 ~recipient
+  let on_deliver ~recipient ~src payload =
+    Wire.record w ~round:1 ~sender:src ~recipient
       ~kind:(Printf.sprintf "k%d" (payload mod 3))
       ~bits:(Sizing.structural_bits payload)
   in
